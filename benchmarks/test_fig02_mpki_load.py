@@ -1,0 +1,40 @@
+"""Fig. 2 — private L2 MPKI (bars) and NoC injection load (dots).
+
+Paper shape: the throughput-oriented workloads show high L2 MPKI (up to
+>100) and moderate-to-high network load, while the PARSEC benchmarks sit
+at low load and low MPKI.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import CORE_WORKLOADS, PARSEC_WORKLOADS
+
+from benchmarks.conftest import once, print_table, run_cached
+
+WORKLOADS = list(CORE_WORKLOADS) + list(PARSEC_WORKLOADS)
+
+
+def _collect():
+    rows = []
+    for workload in WORKLOADS:
+        result = run_cached(workload, "baseline")
+        rows.append((workload, result.l2_mpki, result.injection_load))
+    return rows
+
+
+def test_fig02_mpki_and_injection_load(benchmark) -> None:
+    rows = once(benchmark, _collect)
+    print_table(
+        "Fig. 2: L2 MPKI and NoC injection load (baseline, 16 cores)",
+        ("workload", "l2_mpki", "inj_load(flits/cyc/node)"),
+        [(w, f"{mpki:7.1f}", f"{load:6.3f}") for w, mpki, load in rows])
+
+    by_name = {w: (mpki, load) for w, mpki, load in rows}
+    # High-MPKI workloads exceed 100 MPKI, as in the paper.
+    assert by_name["cachebw"][0] > 100
+    assert by_name["multilevel"][0] > 100
+    # PARSEC proxies show low traffic load and low MPKI.
+    for parsec in PARSEC_WORKLOADS:
+        assert by_name[parsec][0] < 50
+        assert by_name[parsec][1] < min(
+            by_name["cachebw"][1], by_name["mv"][1])

@@ -1,0 +1,45 @@
+"""Fig. 3 — NoC traffic breakdown by category (baseline).
+
+Paper shape: read-shared data spans roughly 10 %-80 % of traffic across
+workloads, and read requests are a significant slice everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import CORE_WORKLOADS, PARSEC_WORKLOADS
+
+from benchmarks.conftest import once, print_table, run_cached
+
+WORKLOADS = list(CORE_WORKLOADS) + list(PARSEC_WORKLOADS)
+CATEGORIES = ("READ_SHARED_DATA", "READ_REQUEST", "EXCLUSIVE_DATA",
+              "WRITEBACK_DATA", "OTHER")
+
+
+def _collect():
+    rows = []
+    for workload in WORKLOADS:
+        fractions = run_cached(workload, "baseline").traffic_fractions()
+        fractions["OTHER"] = fractions.get("OTHER", 0.0) + fractions.get(
+            "PUSH_ACK", 0.0)
+        rows.append((workload, [fractions[c] for c in CATEGORIES]))
+    return rows
+
+
+def test_fig03_traffic_breakdown(benchmark) -> None:
+    rows = once(benchmark, _collect)
+    print_table(
+        "Fig. 3: traffic breakdown fractions (baseline, 16 cores)",
+        ("workload",) + CATEGORIES,
+        [(w, *(f"{f:5.2f}" for f in fractions)) for w, fractions in rows])
+
+    shares = {w: dict(zip(CATEGORIES, f)) for w, f in rows}
+    # Read-shared data varies widely and dominates high-sharing codes.
+    assert shares["cachebw"]["READ_SHARED_DATA"] > 0.4
+    assert shares["particlefilter"]["READ_SHARED_DATA"] > 0.3
+    assert shares["blackscholes"]["READ_SHARED_DATA"] < 0.15
+    spread = [s["READ_SHARED_DATA"] for s in shares.values()]
+    assert max(spread) - min(spread) > 0.3, "must span a wide range"
+    # Requests are significant in every workload.
+    assert all(s["READ_REQUEST"] > 0.03 for s in shares.values())
+    # Private streaming shows up as exclusive-data traffic.
+    assert shares["mv"]["EXCLUSIVE_DATA"] > 0.12

@@ -1,0 +1,76 @@
+"""Fig. 4 — time intervals between consecutive shared-data accesses (mv).
+
+Paper shape: consecutive accesses from different sharers to the same
+line are typically separated by on the order of a thousand cycles —
+far longer than an LLC lookup — and the first-to-last spread extends to
+several thousand cycles.  This is the observation that motivates
+speculative pushing over LLC-side request coalescing.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import bench_kwargs, make_params
+from repro.sim.system import System
+from repro.workloads.base import ARENA_BYTES
+from repro.workloads.registry import build_traces
+
+from benchmarks.conftest import once, print_table
+
+
+def _collect():
+    params = make_params("noprefetch", num_cores=16, **bench_kwargs())
+    system = System(params)
+    traces = build_traces("mv", 16)
+    # The shared vector is the first region allocated in mv's arena (4).
+    base_line = 4 * (ARENA_BYTES // 64)
+    log = system.watch_shared_gets(base_line, base_line + 448)
+    system.attach_workload(traces)
+    system.run()
+
+    by_line = {}
+    for cycle, line, requester in log:
+        by_line.setdefault(line, []).append((cycle, requester))
+    pair_gaps = []
+    spreads = []
+    for accesses in by_line.values():
+        accesses.sort()
+        cross = [(c, r) for c, r in accesses]
+        if len(cross) < 2:
+            continue
+        gaps = [b[0] - a[0] for a, b in zip(cross, cross[1:])
+                if a[1] != b[1]]
+        pair_gaps.extend(gaps)
+        spreads.append(cross[-1][0] - cross[0][0])
+    pair_gaps.sort()
+    spreads.sort()
+
+    def pct(data, frac):
+        return data[int(frac * (len(data) - 1))] if data else 0
+
+    return {
+        "pairs": len(pair_gaps),
+        "gap_p50": pct(pair_gaps, 0.5),
+        "gap_p90": pct(pair_gaps, 0.9),
+        "spread_p50": pct(spreads, 0.5),
+        "spread_p90": pct(spreads, 0.9),
+    }
+
+
+def test_fig04_inter_sharer_intervals(benchmark) -> None:
+    stats = once(benchmark, _collect)
+    print_table(
+        "Fig. 4: consecutive shared-vector access intervals (mv)",
+        ("metric", "cycles"),
+        [("consecutive-sharer gap p50", stats["gap_p50"]),
+         ("consecutive-sharer gap p90", stats["gap_p90"]),
+         ("first-to-last spread p50", stats["spread_p50"]),
+         ("first-to-last spread p90", stats["spread_p90"]),
+         ("pairs observed", stats["pairs"])])
+
+    assert stats["pairs"] > 100, "need a populated distribution"
+    llc_lookup = 20
+    # Gaps dwarf the LLC lookup time => coalescing windows cannot catch
+    # them (the paper's argument for pushing).
+    assert stats["gap_p50"] > 2 * llc_lookup
+    # Cumulative spread reaches thousands of cycles.
+    assert stats["spread_p90"] > 1000

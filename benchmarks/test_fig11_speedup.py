@@ -1,0 +1,94 @@
+"""Fig. 11 — execution-time speedup and L2 MPKI vs L1Bingo-L2Stride.
+
+Paper shape (16 cores): Push Multicast wins on high-sharing/high-load
+workloads (cachebw up to 1.23x for OrdPush), is neutral on low-load
+ones, loses to the prefetching baseline on mlp and bfs, and MSP
+degrades badly nearly everywhere.  At 64 cores the push benefit grows
+(paper: up to 2.08x).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, print_table, run_cached
+
+CONFIGS = ("coalesce", "msp", "pushack", "ordpush")
+WORKLOADS_16 = ("cachebw", "multilevel", "backprop", "particlefilter",
+                "conv3d", "mlp", "mv", "lud", "pathfinder", "bfs")
+WORKLOADS_64 = ("cachebw", "multilevel")
+CONFIGS_64 = ("pushack", "ordpush")
+
+
+def _collect_16():
+    table = {}
+    for workload in WORKLOADS_16:
+        base = run_cached(workload, "baseline")
+        row = {"mpki_base": base.l2_mpki}
+        for config in CONFIGS:
+            result = run_cached(workload, config)
+            row[config] = result.speedup_over(base)
+            row[f"{config}_mpki"] = result.l2_mpki
+        table[workload] = row
+    return table
+
+
+def _collect_64():
+    table = {}
+    for workload in WORKLOADS_64:
+        base = run_cached(workload, "baseline", num_cores=64)
+        row = {}
+        for config in CONFIGS_64:
+            result = run_cached(workload, config, num_cores=64)
+            row[config] = result.speedup_over(base)
+        table[workload] = row
+    return table
+
+
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def test_fig11_speedup_16_cores(benchmark) -> None:
+    table = once(benchmark, _collect_16)
+    print_table(
+        "Fig. 11 (16 cores): speedup over L1Bingo-L2Stride + L2 MPKI",
+        ("workload", "coalesce", "msp", "pushack", "ordpush",
+         "mpki(base)", "mpki(ordpush)"),
+        [(w, *(f"{table[w][c]:5.2f}" for c in CONFIGS),
+          f"{table[w]['mpki_base']:6.1f}",
+          f"{table[w]['ordpush_mpki']:6.1f}") for w in WORKLOADS_16])
+    geo = {c: _geomean([table[w][c] for w in WORKLOADS_16])
+           for c in CONFIGS}
+    print(f"geomean: " + "  ".join(f"{c}={geo[c]:.3f}" for c in CONFIGS))
+
+    # High-sharing, high-load workloads benefit from Push Multicast.
+    assert table["cachebw"]["ordpush"] > 1.08
+    assert table["particlefilter"]["pushack"] > 1.0
+    # OrdPush reduces L2 misses on push-friendly workloads.
+    assert (table["cachebw"]["ordpush_mpki"]
+            < 0.8 * table["cachebw"]["mpki_base"])
+    # MSP's redundant unicast pushes hurt most workloads.
+    assert geo["msp"] < 0.95
+    assert table["cachebw"]["msp"] < 0.9
+    # The prefetching baseline wins the latency-sensitive mlp.
+    assert table["mlp"]["ordpush"] < 1.0
+    # Push Multicast stays roughly neutral overall or better (paper
+    # geomean 1.02x for the full-featured schemes).
+    assert geo["ordpush"] > 0.95
+
+
+def test_fig11_speedup_64_cores(benchmark) -> None:
+    table = once(benchmark, _collect_64)
+    print_table(
+        "Fig. 11 (64 cores): speedup over L1Bingo-L2Stride",
+        ("workload",) + CONFIGS_64,
+        [(w, *(f"{table[w][c]:5.2f}" for c in CONFIGS_64))
+         for w in WORKLOADS_64])
+
+    # Bigger systems benefit more (paper: up to 2.08x at 64 cores).
+    assert table["cachebw"]["ordpush"] > 1.15
+    table16 = run_cached("cachebw", "ordpush").speedup_over(
+        run_cached("cachebw", "baseline"))
+    assert table["cachebw"]["ordpush"] > table16 - 0.05

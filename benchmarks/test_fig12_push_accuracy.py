@@ -1,0 +1,59 @@
+"""Fig. 12 — push usage breakdown at the private caches.
+
+Paper shape: push-friendly workloads (cachebw, multilevel, mv,
+particlefilter) show near-perfect accuracy (Miss-to-Hit + Early-Resp
+dominate); backprop shows substantial Unused pollution yet still
+benefits; MSP piles up redundant traffic.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import PUSH_CATEGORIES
+
+from benchmarks.conftest import once, print_table, run_cached
+
+WORKLOADS = ("cachebw", "multilevel", "backprop", "particlefilter",
+             "conv3d", "mv", "bfs")
+CONFIGS = ("msp", "pushack", "ordpush")
+
+
+def _collect():
+    table = {}
+    for workload in WORKLOADS:
+        for config in CONFIGS:
+            result = run_cached(workload, config)
+            total = max(sum(result.push_usage.values()), 1)
+            table[(workload, config)] = {
+                name: result.push_usage[name] / total
+                for name in PUSH_CATEGORIES}
+            table[(workload, config)]["accuracy"] = (
+                result.push_accuracy())
+    return table
+
+
+def test_fig12_push_usage_breakdown(benchmark) -> None:
+    table = once(benchmark, _collect)
+    short = {"push_deadlock_drop": "dlk", "push_redundancy_drop": "red",
+             "push_coherence_drop": "coh", "push_unused": "unused",
+             "push_miss_to_hit": "m2hit", "push_early_resp": "eresp"}
+    rows = []
+    for (workload, config), usage in table.items():
+        rows.append((f"{workload}/{config}",
+                     *(f"{usage[name]:5.2f}" for name in PUSH_CATEGORIES),
+                     f"{usage['accuracy']:5.2f}"))
+    print_table("Fig. 12: push usage fractions",
+                ("workload/config",
+                 *(short[n] for n in PUSH_CATEGORIES), "acc"),
+                rows)
+
+    # Push-friendly workloads: beneficial categories dominate.
+    for workload in ("cachebw", "multilevel", "particlefilter"):
+        assert table[(workload, "ordpush")]["accuracy"] > 0.5, workload
+    # backprop pays a visible Unused-pollution tax.
+    assert table[("backprop", "ordpush")]["push_unused"] > 0.1
+    # bfs is push-hostile: low accuracy even with the knob active.
+    assert table[("bfs", "ordpush")]["accuracy"] < 0.5
+    # Useful pushes split between Miss-to-Hit and Early-Resp.
+    cachebw = table[("cachebw", "ordpush")]
+    assert cachebw["push_miss_to_hit"] > 0
+    assert cachebw["push_early_resp"] > 0

@@ -1,0 +1,64 @@
+"""Fig. 13 — NoC traffic breakdown normalized to L1Bingo-L2Stride.
+
+Paper shape: Push Multicast cuts shared-data traffic substantially on
+push-friendly workloads (up to ~60 % total saving on cachebw for
+OrdPush; 33 % NoC bandwidth saved on average at 16 cores), PushAck pays
+a visible PUSH_ACK tax, and MSP inflates traffic badly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, print_table, run_cached
+
+WORKLOADS = ("cachebw", "multilevel", "backprop", "particlefilter",
+             "conv3d", "mlp", "mv", "lud", "pathfinder", "bfs")
+CONFIGS = ("msp", "pushack", "ordpush")
+
+
+def _collect():
+    table = {}
+    for workload in WORKLOADS:
+        base = run_cached(workload, "baseline")
+        for config in CONFIGS:
+            result = run_cached(workload, config)
+            table[(workload, config)] = {
+                "total": result.traffic_vs(base),
+                "shared": (result.traffic["READ_SHARED_DATA"]
+                           / max(base.total_flits, 1)),
+                "pushack": (result.traffic["PUSH_ACK"]
+                            / max(base.total_flits, 1)),
+            }
+        table[(workload, "baseline_shared")] = (
+            base.traffic["READ_SHARED_DATA"] / max(base.total_flits, 1))
+    return table
+
+
+def test_fig13_traffic_normalized(benchmark) -> None:
+    table = once(benchmark, _collect)
+    rows = []
+    for workload in WORKLOADS:
+        cells = [workload]
+        for config in CONFIGS:
+            entry = table[(workload, config)]
+            cells.append(f"{entry['total']:5.2f}")
+        rows.append(tuple(cells))
+    print_table(
+        "Fig. 13: total NoC flits normalized to baseline",
+        ("workload",) + CONFIGS, rows)
+
+    push_friendly = ("cachebw", "multilevel", "particlefilter", "conv3d")
+    savings = [1 - table[(w, "ordpush")]["total"] for w in push_friendly]
+    print(f"mean ordpush saving on push-friendly set: "
+          f"{sum(savings)/len(savings):5.1%}")
+
+    # OrdPush saves significant bandwidth on push-friendly workloads.
+    assert all(s > 0.05 for s in savings)
+    assert max(savings) > 0.2
+    # PushAck's acknowledgments cost extra control traffic.
+    assert (table[("cachebw", "pushack")]["pushack"]
+            > table[("cachebw", "ordpush")]["pushack"])
+    # MSP inflates traffic on the high-sharing workloads.
+    assert table[("cachebw", "msp")]["total"] > 1.2
+    # The shared-data component shrinks under OrdPush.
+    assert (table[("cachebw", "ordpush")]["shared"]
+            < table[("cachebw", "baseline_shared")])

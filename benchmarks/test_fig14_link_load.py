@@ -1,0 +1,57 @@
+"""Fig. 14 — per-link load maps for cachebw (baseline vs OrdPush).
+
+Paper shape: the baseline concentrates load on the bisection links;
+OrdPush cuts total link traffic but its YX multicast replication shifts
+load toward the east/west edge links.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import mesh_shape
+
+from benchmarks.conftest import once, print_table, run_cached
+
+
+def _collect():
+    base = run_cached("cachebw", "baseline")
+    push = run_cached("cachebw", "ordpush")
+    return {"baseline": base.link_load, "ordpush": push.link_load}
+
+
+def _horizontal_vs_vertical(link_load):
+    horizontal = sum(f for (_, d), f in link_load.items()
+                     if d in ("east", "west"))
+    vertical = sum(f for (_, d), f in link_load.items()
+                   if d in ("north", "south"))
+    return horizontal, vertical
+
+
+def test_fig14_link_load_map(benchmark) -> None:
+    loads = once(benchmark, _collect)
+    rows, cols = mesh_shape(16)
+    for config, link_load in loads.items():
+        print(f"\n=== Fig. 14 ({config}): east-link load per router ===")
+        for r in range(rows):
+            cells = []
+            for c in range(cols):
+                tile = r * cols + c
+                cells.append(f"{link_load.get((tile, 'east'), 0):7d}")
+            print(" ".join(cells))
+
+    base_total = sum(loads["baseline"].values())
+    push_total = sum(loads["ordpush"].values())
+    print(f"\ntotal link flits: baseline={base_total} "
+          f"ordpush={push_total}")
+
+    # OrdPush reduces total link traffic...
+    assert push_total < base_total
+    # ...but multicast replication keeps horizontal links relatively
+    # busier than in the baseline (the east/west shift of Fig. 14b).
+    base_h, base_v = _horizontal_vs_vertical(loads["baseline"])
+    push_h, push_v = _horizontal_vs_vertical(loads["ordpush"])
+    assert push_h / max(push_v, 1) > base_h / max(base_v, 1)
+    # Load maps are non-degenerate (every row has traffic).
+    for r in range(rows):
+        row_flits = sum(loads["ordpush"].get((r * cols + c, "east"), 0)
+                        for c in range(cols))
+        assert row_flits > 0

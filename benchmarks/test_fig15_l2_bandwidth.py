@@ -1,0 +1,54 @@
+"""Fig. 15 — private L2 injection/ejection traffic vs baseline.
+
+Paper shape: PushAck *increases* L2 injection (every received push costs
+a PushAck message); OrdPush *reduces* injection thanks to the read
+requests that pushes make unnecessary; ejection stays roughly flat for
+accurate-push workloads (multicast saves hops, not endpoint deliveries).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, print_table, run_cached
+
+WORKLOADS = ("cachebw", "multilevel", "particlefilter", "mv", "bfs")
+CONFIGS = ("msp", "pushack", "ordpush")
+
+
+def _collect():
+    table = {}
+    for workload in WORKLOADS:
+        base = run_cached(workload, "baseline")
+        base_inject = max(sum(base.l2_inject.values()), 1)
+        base_eject = max(sum(base.l2_eject.values()), 1)
+        for config in CONFIGS:
+            result = run_cached(workload, config)
+            table[(workload, config)] = {
+                "inject": sum(result.l2_inject.values()) / base_inject,
+                "eject": sum(result.l2_eject.values()) / base_eject,
+                "inject_pushack": (result.l2_inject["PUSH_ACK"]
+                                   / base_inject),
+            }
+    return table
+
+
+def test_fig15_l2_bandwidth(benchmark) -> None:
+    table = once(benchmark, _collect)
+    rows = []
+    for workload in WORKLOADS:
+        cells = [workload]
+        for config in CONFIGS:
+            entry = table[(workload, config)]
+            cells.append(f"{entry['inject']:5.2f}/{entry['eject']:5.2f}")
+        rows.append(tuple(cells))
+    print_table(
+        "Fig. 15: L2 inject/eject flits normalized to baseline",
+        ("workload",) + tuple(f"{c} (inj/ej)" for c in CONFIGS), rows)
+
+    cachebw = {c: table[("cachebw", c)] for c in CONFIGS}
+    # PushAck injects acknowledgments that OrdPush does not.
+    assert cachebw["pushack"]["inject_pushack"] > 0
+    assert cachebw["ordpush"]["inject_pushack"] == 0
+    assert (cachebw["pushack"]["inject"]
+            > cachebw["ordpush"]["inject"])
+    # OrdPush reduces injections (fewer read requests issued).
+    assert cachebw["ordpush"]["inject"] < 1.0

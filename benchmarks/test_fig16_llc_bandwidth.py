@@ -1,0 +1,64 @@
+"""Fig. 16 — LLC injection/ejection traffic vs baseline.
+
+Paper shape: LLC injection shrinks under Push Multicast because one
+multicast packet replaces many unicast data responses (a sharing degree
+of 16 can cut it up to 16x); the mean number of destinations per pushed
+response approaches the sharer count (paper reports 15.4 for cachebw,
+4 for multilevel at 16 cores); PushAck's ejection side grows with the
+incoming acknowledgments.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, print_table, run_cached
+
+WORKLOADS = ("cachebw", "multilevel", "particlefilter", "mv")
+CONFIGS = ("pushack", "ordpush")
+
+
+def _collect():
+    table = {}
+    for workload in WORKLOADS:
+        base = run_cached(workload, "baseline")
+        base_inject = max(sum(base.llc_inject.values()), 1)
+        base_eject = max(sum(base.llc_eject.values()), 1)
+        for config in CONFIGS:
+            result = run_cached(workload, config)
+            table[(workload, config)] = {
+                "inject": sum(result.llc_inject.values()) / base_inject,
+                "eject": sum(result.llc_eject.values()) / base_eject,
+                "eject_pushack": (result.llc_eject["PUSH_ACK"]
+                                  / base_eject),
+                "gets": result.llc_eject["READ_REQUEST"]
+                / max(base.llc_eject["READ_REQUEST"], 1),
+                "degree": result.mean_push_degree,
+            }
+    return table
+
+
+def test_fig16_llc_bandwidth(benchmark) -> None:
+    table = once(benchmark, _collect)
+    rows = []
+    for workload in WORKLOADS:
+        cells = [workload]
+        for config in CONFIGS:
+            entry = table[(workload, config)]
+            cells.append(f"{entry['inject']:5.2f}/{entry['eject']:5.2f}")
+        cells.append(f"{table[(workload, 'ordpush')]['degree']:5.1f}")
+        rows.append(tuple(cells))
+    print_table(
+        "Fig. 16: LLC inject/eject flits normalized + push degree",
+        ("workload",) + tuple(f"{c} (inj/ej)" for c in CONFIGS)
+        + ("mean push dests",), rows)
+
+    # Multicasting collapses the LLC's data-response injections.
+    assert table[("cachebw", "ordpush")]["inject"] < 0.6
+    # Fewer read requests reach the LLC (filter + early pushes).
+    assert table[("cachebw", "ordpush")]["gets"] < 0.9
+    # Push degree approaches the theoretical sharer maximum (16) for
+    # all-core sharing, and the group size (4) for multilevel.
+    assert table[("cachebw", "ordpush")]["degree"] > 12
+    degree_multilevel = table[("multilevel", "ordpush")]["degree"]
+    assert 2 <= degree_multilevel <= 6
+    # PushAck's ejection side carries the acknowledgments.
+    assert table[("cachebw", "pushack")]["eject_pushack"] > 0

@@ -1,0 +1,61 @@
+"""Fig. 19 — sensitivity to L2/LLC cache sizes.
+
+The paper triples the configuration (256K/1M, 512K/1M, 1M/2M L2/LLC per
+core) and scales inputs up so the pressure is maintained, finding a
+consistent Push Multicast trend.  The scaled equivalents here double
+the bench-profile caches twice and scale the workload footprints by the
+same factor.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, print_table, run_cached
+
+#: (l2_kb, llc_slice_kb, footprint multiplier) — scaled from the paper's
+#: 256K/1M, 512K/1M and 1M/2M per-core configurations.
+SIZES = ((32, 128, 1), (64, 128, 2), (128, 256, 3))
+WORKLOADS = ("cachebw", "multilevel")
+CONFIGS = ("pushack", "ordpush")
+
+
+def _workload_kwargs(workload: str, factor: int) -> dict:
+    if workload == "cachebw":
+        return dict(array_lines=1024 * factor, iters=2)
+    return dict(level_lines=1024 * factor, iters=2)
+
+
+def _collect():
+    table = {}
+    for workload in WORKLOADS:
+        for l2_kb, llc_kb, factor in SIZES:
+            sizes = _workload_kwargs(workload, factor)
+            base = run_cached(workload, "baseline", l2_kb=l2_kb,
+                              llc_slice_kb=llc_kb, **sizes)
+            for config in CONFIGS:
+                result = run_cached(workload, config, l2_kb=l2_kb,
+                                    llc_slice_kb=llc_kb, **sizes)
+                table[(workload, config, l2_kb)] = {
+                    "speedup": result.speedup_over(base),
+                    "traffic": result.traffic_vs(base),
+                }
+    return table
+
+
+def test_fig19_cache_size_sensitivity(benchmark) -> None:
+    table = once(benchmark, _collect)
+    labels = tuple(f"L2={l2}K/LLC={llc}K" for l2, llc, _ in SIZES)
+    for config in CONFIGS:
+        print_table(
+            f"Fig. 19 ({config}): speedup at scaled cache sizes",
+            ("workload",) + labels,
+            [(wl, *(f"{table[(wl, config, l2)]['speedup']:5.2f}"
+                    for l2, _, _ in SIZES)) for wl in WORKLOADS])
+
+    # The push-multicast benefit is consistent across cache scales
+    # (speedup and traffic saving at every size, paper's "consistent
+    # trend" claim).
+    for workload in WORKLOADS:
+        for l2_kb, _, _ in SIZES:
+            entry = table[(workload, "ordpush", l2_kb)]
+            assert entry["speedup"] > 0.97, (workload, l2_kb)
+            assert entry["traffic"] < 1.0, (workload, l2_kb)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Generate a bandwidth report with charts and a CSV export.
+
+Runs one push-friendly workload under several schemes and renders the
+library's reporting utilities: an ASCII speedup chart with the baseline
+marked, a traffic-breakdown table, and a CSV of the raw results
+(written next to this script as ``bandwidth_report.csv``).
+
+Usage::
+
+    python examples/bandwidth_report.py [--workload cachebw]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import (
+    bar_chart,
+    bench_kwargs,
+    format_table,
+    run_workload,
+    workload_names,
+    write_results_csv,
+)
+
+CONFIGS = ("baseline", "coalesce", "msp", "pushack", "ordpush")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="cachebw",
+                        choices=workload_names())
+    parser.add_argument("--cores", type=int, default=16)
+    args = parser.parse_args()
+
+    results = {}
+    for config in CONFIGS:
+        results[config] = run_workload(
+            args.workload, config, num_cores=args.cores, **bench_kwargs())
+    baseline = results["baseline"]
+
+    print(f"\n{args.workload} on {args.cores} cores — speedup over "
+          f"baseline (marker = 1.0x):\n")
+    print(bar_chart(
+        {config: result.speedup_over(baseline)
+         for config, result in results.items()},
+        width=44, reference=1.0, unit="x"))
+
+    print("\nNoC traffic by class (flit-hops):\n")
+    classes = sorted(baseline.traffic)
+    rows = [(config, *(results[config].traffic[name]
+                       for name in classes))
+            for config in CONFIGS]
+    print(format_table(("config",) + tuple(c.lower() for c in classes),
+                       rows))
+
+    out = Path(__file__).with_name("bandwidth_report.csv")
+    write_results_csv(results.values(), out)
+    print(f"\nraw results written to {out}")
+
+
+if __name__ == "__main__":
+    main()

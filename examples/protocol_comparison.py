@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare every evaluated scheme across a workload sweep.
+
+Reproduces a miniature Fig. 11: for each selected workload, runs the
+prefetching baseline, LLC request Coalescing, MSP-style unicast pushing,
+and both Push Multicast protocols (PushAck, OrdPush), printing speedup
+and normalized traffic.
+
+Usage::
+
+    python examples/protocol_comparison.py [--workloads cachebw mv ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.sim.config import bench_kwargs
+from repro.sim.runner import run_workload
+from repro.workloads.registry import workload_names
+
+DEFAULT_WORKLOADS = ("cachebw", "multilevel", "particlefilter", "mv",
+                     "bfs")
+CONFIGS = ("coalesce", "msp", "pushack", "ordpush")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+",
+                        default=list(DEFAULT_WORKLOADS),
+                        choices=workload_names(),
+                        help="workloads to sweep")
+    parser.add_argument("--cores", type=int, default=16)
+    args = parser.parse_args()
+
+    header = f"{'workload':16s}" + "".join(
+        f"{config:>18s}" for config in CONFIGS)
+    print(header)
+    print("-" * len(header))
+    for workload in args.workloads:
+        baseline = run_workload(workload, "baseline",
+                                num_cores=args.cores, **bench_kwargs())
+        cells = []
+        for config in CONFIGS:
+            result = run_workload(workload, config,
+                                  num_cores=args.cores, **bench_kwargs())
+            speedup = result.speedup_over(baseline)
+            traffic = result.traffic_vs(baseline)
+            cells.append(f"{speedup:5.2f}x /{traffic:5.2f}f")
+        print(f"{workload:16s}" + "".join(f"{c:>18s}" for c in cells))
+    print("\n(speedup over baseline / NoC flits normalized to baseline)")
+
+
+if __name__ == "__main__":
+    main()

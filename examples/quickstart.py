@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: compare Push Multicast against the prefetching baseline.
+
+Runs the paper's flagship workload (cachebw — every core repeatedly
+scans one shared array that exceeds its private L2) under the
+L1Bingo-L2Stride baseline and under Push Multicast (OrdPush), then
+prints the headline metrics: speedup, NoC traffic saving, L2 MPKI, and
+push accuracy.
+
+Usage::
+
+    python examples/quickstart.py [--cores 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.sim.config import bench_kwargs
+from repro.sim.runner import run_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, default=16,
+                        help="core count (square: 16 or 64)")
+    args = parser.parse_args()
+
+    print(f"Simulating cachebw on {args.cores} cores "
+          f"({args.cores} LLC slices, mesh NoC)...")
+    baseline = run_workload("cachebw", "baseline", num_cores=args.cores,
+                            **bench_kwargs())
+    print(f"  baseline : {baseline.summary()}")
+    ordpush = run_workload("cachebw", "ordpush", num_cores=args.cores,
+                           **bench_kwargs())
+    print(f"  ordpush  : {ordpush.summary()}")
+
+    print()
+    print(f"speedup over L1Bingo-L2Stride : "
+          f"{ordpush.speedup_over(baseline):.2f}x")
+    print(f"NoC traffic vs baseline       : "
+          f"{ordpush.traffic_vs(baseline):.2f} "
+          f"({1 - ordpush.traffic_vs(baseline):.0%} saved)")
+    print(f"L2 MPKI                       : "
+          f"{baseline.l2_mpki:.0f} -> {ordpush.l2_mpki:.0f}")
+    print(f"push accuracy                 : "
+          f"{ordpush.push_accuracy():.0%}")
+    print(f"read requests filtered in-NoC : "
+          f"{ordpush.requests_filtered}")
+    print(f"mean push multicast degree    : "
+          f"{ordpush.mean_push_degree:.1f} "
+          f"(of {args.cores} possible sharers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Push Multicast — a speculative and coherent interconnect (HPCA 2025).
+
+A cycle-level Python reproduction of Huang et al., "Push Multicast: A
+Speculative and Coherent Interconnect for Mitigating Manycore CPU
+Communication Bottleneck".  The package contains the complete simulated
+system: a Garnet-style mesh NoC with the coherent in-network filter, a
+MESI cache hierarchy with the push-triggering LLC directory (PushAck
+and OrdPush variants plus the Coalesce and MSP baselines), Bingo/stride
+prefetchers, a bounded-MLP core model, and Table II workload generators.
+
+Quick start::
+
+    from repro import run_workload, bench_kwargs
+    result = run_workload("cachebw", "ordpush", num_cores=16,
+                          **bench_kwargs())
+    print(result.summary())
+"""
+
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    NoCParams,
+    PrefetchParams,
+    PushParams,
+    SystemParams,
+)
+from repro.cpu.traces import BARRIER, MemAccess
+from repro.sim.config import (
+    ABLATION_STEPS,
+    CONFIG_NAMES,
+    bench_kwargs,
+    make_params,
+)
+from repro.report import (
+    bar_chart,
+    format_table,
+    normalize_table,
+    write_results_csv,
+)
+from repro.sim.results import SimResult
+from repro.sim.runner import run_comparison, run_system, run_workload
+from repro.sim.statsdump import dump_stats, save_stats
+from repro.sim.system import System
+from repro.workloads.registry import WORKLOADS, build_traces, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABLATION_STEPS",
+    "BARRIER",
+    "CONFIG_NAMES",
+    "CacheParams",
+    "CoreParams",
+    "MemAccess",
+    "MemoryParams",
+    "NoCParams",
+    "PrefetchParams",
+    "PushParams",
+    "SimResult",
+    "System",
+    "SystemParams",
+    "WORKLOADS",
+    "bar_chart",
+    "bench_kwargs",
+    "build_traces",
+    "dump_stats",
+    "format_table",
+    "make_params",
+    "save_stats",
+    "normalize_table",
+    "write_results_csv",
+    "run_comparison",
+    "run_system",
+    "run_workload",
+    "workload_names",
+]

@@ -1,0 +1,40 @@
+"""Coherence state vocabulary.
+
+Private caches use MESI stable states; transient states live implicitly
+in the MSHRs (an outstanding GETS means IS_D, an outstanding GETM means
+IM_AD or SM_AD depending on whether an S copy is resident and blocked).
+
+The directory tracks the paper's extension: state ``P`` (shared-push) is
+entered by the PushAck protocol while a push multicast is outstanding;
+it serves reads with unicasts and blocks writes until every PushAck has
+arrived (Fig. 10b).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class PrivState(Enum):
+    """Stable states of a line in a private L2."""
+
+    S = auto()
+    E = auto()
+    M = auto()
+
+
+class DirState(Enum):
+    """Directory-visible state of a line at its home LLC slice."""
+
+    I = auto()      #: not cached above (may still be LLC-resident)
+    S = auto()      #: one or more read-only sharers
+    EM = auto()     #: one exclusive owner (E or M above; LLC can't tell)
+    P = auto()      #: shared with an outstanding push (PushAck only)
+
+
+def readable(state: PrivState) -> bool:
+    return state in (PrivState.S, PrivState.E, PrivState.M)
+
+
+def writable(state: PrivState) -> bool:
+    return state in (PrivState.E, PrivState.M)

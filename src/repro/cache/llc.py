@@ -1,0 +1,601 @@
+"""One shared-LLC slice with its integrated directory.
+
+The slice is the home node for every line the address hash maps to its
+tile.  It implements:
+
+* the base MESI directory flows (exclusive grants, downgrades on shared
+  reads of owned lines, invalidation collection for writes);
+* the paper's push trigger (§III-B): a read from an *existing* sharer of
+  a Shared line means the program re-references shared data after
+  private-cache eviction, so the reply becomes a speculative multicast
+  to every sharer;
+* the PushAck extension (Fig. 10b): directory state P blocks writes and
+  serves reads with unicasts while push acknowledgments are collected;
+* the resume knob (Fig. 9): the PDRMap of push-disabled requesters, the
+  alternating Disable-Accepting / Resume phases driven by the Time
+  Window, and the counter-reset flag embedded in Resume-phase replies;
+* the two evaluation baselines — LLC request **Coalescing** (concurrent
+  same-line reads merged into one multicast response) and **MSP**-style
+  unicast pushing (no multicast, no filter, no knob).
+
+Requests are processed at one per cycle with the configured lookup
+latency (a pipelined controller); transactions to the same line are
+serialized through a per-line queue, which is what makes the protocol
+free of message races beyond the ones handled explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.common.errors import ProtocolError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import SystemParams
+from repro.common.scheduler import Scheduler
+from repro.common.stats import StatGroup
+from repro.cache.coherence import DirState
+from repro.cache.sram import CacheArray, CacheLine
+
+
+class DirEntry:
+    """Directory + data state for one line at its home slice."""
+
+    __slots__ = ("line_addr", "state", "sharers", "owner", "resident",
+                 "filling", "busy", "queue", "awaiting", "push_acks",
+                 "pending_grant")
+
+    def __init__(self, line_addr: int) -> None:
+        self.line_addr = line_addr
+        self.state = DirState.I
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.resident = False
+        self.filling = False
+        self.busy = False
+        self.queue: List[CoherenceMsg] = []
+        #: tiles whose INV/DOWNGRADE acknowledgment is outstanding
+        self.awaiting: Set[int] = set()
+        self.push_acks = 0
+        #: continuation run when the outstanding acks have all arrived
+        self.pending_grant: Optional[Callable[[], None]] = None
+
+
+class LLCSlice:
+    """The home-node controller for one tile's LLC slice."""
+
+    def __init__(self, tile: int, params: SystemParams,
+                 scheduler: Scheduler,
+                 send: Callable[[CoherenceMsg], None],
+                 home_of: Callable[[int], int],
+                 mem_ctrl_of: Callable[[int], int],
+                 version_map: Dict[int, int],
+                 stats: Optional[StatGroup] = None) -> None:
+        self.tile = tile
+        self.params = params
+        self.push = params.push
+        self.scheduler = scheduler
+        self._send_msg = send
+        self._home_of = home_of
+        self._mem_ctrl_of = mem_ctrl_of
+        #: system-wide line version registry (the "memory value")
+        self.versions = version_map
+        self.array = CacheArray(params.llc_slice)
+        self._dir: Dict[int, DirEntry] = {}
+        self.stats = stats if stats is not None else StatGroup(f"llc_{tile}")
+        self._data_flits = params.noc.data_packet_flits
+        self._next_free = 0
+        #: push-disabled requesters (the PDRMap, Fig. 9)
+        self.pdrmap: Set[int] = set()
+        #: coalescing windows: line -> extra GETS gathered during lookup
+        self._coalescing: Dict[int, List[CoherenceMsg]] = {}
+        #: in-flight push shadows: line -> (expiry cycle, destinations)
+        self._push_shadow: Dict[int, tuple] = {}
+        #: optional shared-access probe (Fig. 4): appends
+        #: (cycle, line, requester) for GETS within the watched range
+        self.gets_log: Optional[List[tuple]] = None
+        self.watch_range: tuple = (0, 0)
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+
+    def deliver(self, msg: CoherenceMsg) -> None:
+        """Message ejected from the NoC destined for this slice."""
+        flits = self._data_flits if msg.carries_data else 1
+        self.stats.child("eject").inc(msg.traffic_class.name, flits)
+        if (self.push.mode == "coalesce" and msg.msg_type is MsgType.GETS
+                and msg.line_addr in self._coalescing):
+            # A lookup for this line is already in the pipeline: merge.
+            self._coalescing[msg.line_addr].append(msg)
+            self.stats.inc("coalesced_requests")
+            return
+        now = self.scheduler.now
+        start = max(now, self._next_free)
+        self._next_free = start + 1
+        if self.push.mode == "coalesce" and msg.msg_type is MsgType.GETS:
+            self._coalescing.setdefault(msg.line_addr, [])
+        latency = self.params.llc_slice.hit_latency
+        self.scheduler.at(start + latency, lambda: self._process(msg))
+
+    # ------------------------------------------------------------------
+    # per-line serialization
+    # ------------------------------------------------------------------
+
+    def _process(self, msg: CoherenceMsg) -> None:
+        line_addr = msg.line_addr
+        if msg.msg_type is MsgType.MEM_DATA:
+            self._on_mem_data(line_addr)
+            return
+        if msg.msg_type in (MsgType.INV_ACK, MsgType.PUSH_ACK,
+                            MsgType.UNBLOCK):
+            self._on_ack(msg)
+            return
+
+        entry = self._dir.get(line_addr)
+        if msg.msg_type is MsgType.PUTM and (entry is None
+                                             or not entry.resident):
+            # Writeback racing with a back-invalidation (or arriving after
+            # an LLC eviction): bank the version and forward to memory.
+            self.versions[line_addr] = max(
+                self.versions.get(line_addr, 0), msg.payload)
+            self._send(CoherenceMsg(
+                MsgType.MEM_WB, line_addr, self.tile,
+                (self._mem_ctrl_of(self.tile),), requester=self.tile))
+            self.stats.inc("writebacks_to_memory")
+            return
+        if entry is None:
+            entry = DirEntry(line_addr)
+            self._dir[line_addr] = entry
+        if not entry.resident:
+            entry.queue.append(msg)
+            if not entry.filling:
+                entry.filling = True
+                self.stats.inc("llc_misses")
+                self._send(CoherenceMsg(
+                    MsgType.MEM_READ, line_addr, self.tile,
+                    (self._mem_ctrl_of(self.tile),), requester=self.tile))
+            return
+        if entry.busy:
+            if self._ack_like(entry, msg):
+                # A PUTM from a tile we are waiting on IS its recall /
+                # downgrade acknowledgment (it carries the dirty data).
+                self._collect_ack(entry, msg)
+            else:
+                entry.queue.append(msg)
+            return
+        self._dispatch(entry, msg)
+
+    @staticmethod
+    def _ack_like(entry: DirEntry, msg: CoherenceMsg) -> bool:
+        """A PUTM from a tile we are waiting on acts as its ack."""
+        return (msg.msg_type is MsgType.PUTM and msg.src in entry.awaiting)
+
+    def _dispatch(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        if msg.msg_type is MsgType.GETS:
+            self._on_gets(entry, msg)
+        elif msg.msg_type is MsgType.GETM:
+            self._on_getm(entry, msg)
+        elif msg.msg_type is MsgType.PUTM:
+            self._on_putm(entry, msg)
+        else:
+            raise ProtocolError(f"LLC slice {self.tile} cannot handle {msg}")
+
+    def _drain(self, entry: DirEntry) -> None:
+        entry.busy = False
+        entry.awaiting.clear()
+        entry.pending_grant = None
+        while entry.queue and not entry.busy:
+            self._dispatch(entry, entry.queue.pop(0))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def _on_gets(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        requester = msg.src
+        if self._shadow_filtered(entry.line_addr, requester):
+            # The response is embedded in a push triggered moments ago
+            # that lists this requester — the stationary-filter case the
+            # unbounded-ejection model would otherwise miss.
+            self.stats.inc("gets_shadow_filtered")
+            return
+        self.stats.inc("gets_served")
+        if (self.gets_log is not None
+                and self.watch_range[0] <= entry.line_addr
+                < self.watch_range[1]):
+            self.gets_log.append(
+                (self.scheduler.now, entry.line_addr, requester))
+        self._knob_on_request(requester, msg.need_push)
+        coalesced = self._take_coalesced(entry.line_addr)
+        if coalesced:
+            # Concurrent readers merged in the lookup window force the
+            # line shared regardless of its current state.
+            if entry.state is DirState.EM and entry.owner != requester:
+                owner = entry.owner
+                entry.busy = True
+                entry.awaiting = {owner}
+                self._send(CoherenceMsg(
+                    MsgType.DOWNGRADE, entry.line_addr, self.tile,
+                    (owner,), requester=requester))
+                entry.pending_grant = lambda: self._finish_coalesced(
+                    entry, msg, coalesced, extra_sharer=owner)
+                return
+            entry.owner = None
+            self._finish_coalesced(entry, msg, coalesced)
+            return
+
+        if entry.state is DirState.I:
+            self._grant_exclusive(entry, requester, msg)
+            return
+        if entry.state is DirState.EM:
+            if entry.owner == requester:
+                self._grant_exclusive(entry, requester, msg)
+                return
+            self._downgrade_then_share(entry, msg)
+            return
+        # Shared (or P, which still serves reads with unicasts).
+        new_sharer = requester not in entry.sharers
+        entry.sharers.add(requester)
+        prefetch_ok = self.push.push_on_prefetch or not msg.is_prefetch
+        if (self.push.pushes and entry.state is DirState.S
+                and not new_sharer and prefetch_ok):
+            self._trigger_push(entry, msg)
+            return
+        self._reply_data_s(entry, (requester,), msg)
+
+    def _finish_coalesced(self, entry: DirEntry, first: CoherenceMsg,
+                          extra: List[CoherenceMsg],
+                          extra_sharer: Optional[int] = None) -> None:
+        entry.state = DirState.S
+        if extra_sharer is not None:
+            entry.sharers.add(extra_sharer)
+        self._reply_coalesced(entry, first, extra)
+
+    def _grant_exclusive(self, entry: DirEntry, requester: int,
+                         msg: CoherenceMsg) -> None:
+        version = self._bump_version(entry.line_addr)
+        entry.state = DirState.EM
+        entry.owner = requester
+        entry.sharers.clear()
+        # Block the line until the requester's UNBLOCK receipt ack.
+        entry.busy = True
+        entry.awaiting = {requester}
+        self._send(CoherenceMsg(
+            MsgType.DATA_E, entry.line_addr, self.tile, (requester,),
+            requester=requester, payload=version,
+            reset_push_counters=self._reset_flag(requester)))
+
+    def _downgrade_then_share(self, entry: DirEntry,
+                              msg: CoherenceMsg) -> None:
+        owner = entry.owner
+        entry.busy = True
+        entry.awaiting = {owner}
+        self._send(CoherenceMsg(
+            MsgType.DOWNGRADE, entry.line_addr, self.tile, (owner,),
+            requester=msg.src))
+
+        def grant() -> None:
+            entry.state = DirState.S
+            entry.sharers = {owner, msg.src}
+            entry.owner = None
+            self._reply_data_s(entry, (msg.src,), msg)
+
+        entry.pending_grant = grant
+
+    def _reply_data_s(self, entry: DirEntry, dests, msg: CoherenceMsg,
+                      ) -> None:
+        version = self.versions.get(entry.line_addr, 0)
+        for dest in dests:
+            self._send(CoherenceMsg(
+                MsgType.DATA_S, entry.line_addr, self.tile, (dest,),
+                requester=dest, payload=version,
+                reset_push_counters=self._reset_flag(dest)))
+
+    # -- coalescing baseline ------------------------------------------------
+
+    def _take_coalesced(self, line_addr: int
+                        ) -> Optional[List[CoherenceMsg]]:
+        if self.push.mode != "coalesce":
+            return None
+        return self._coalescing.pop(line_addr, None)
+
+    def _reply_coalesced(self, entry: DirEntry, first: CoherenceMsg,
+                         extra: List[CoherenceMsg]) -> None:
+        """One multicast DATA_S answers every request gathered in the
+        lookup window — the Coalesce baseline (Kim et al. [38])."""
+        requesters = [first.src]
+        for msg in extra:
+            if msg.src not in requesters:
+                requesters.append(msg.src)
+        entry.sharers.update(requesters)
+        version = self.versions.get(entry.line_addr, 0)
+        self._send(CoherenceMsg(
+            MsgType.DATA_S, entry.line_addr, self.tile,
+            tuple(sorted(requesters)), requester=first.src,
+            payload=version))
+        if len(requesters) > 1:
+            self.stats.inc("coalesced_multicasts")
+            self.stats.histogram("coalesce_degree", 1, 65).record(
+                len(requesters))
+
+    # ------------------------------------------------------------------
+    # the push trigger (paper §III-B)
+    # ------------------------------------------------------------------
+
+    def _trigger_push(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        requester = msg.src
+        excluded = self.pdrmap if self.push.dynamic_knob else set()
+        dests = sorted((entry.sharers - excluded) | {requester})
+        version = self.versions.get(entry.line_addr, 0)
+        mode = self.push.mode
+        self.stats.inc("pushes_triggered")
+        self.stats.histogram("push_degree", 1, 65).record(len(dests))
+        if self.push.network_filter and self.push.shadow_cycles > 0:
+            self._push_shadow[entry.line_addr] = (
+                self.scheduler.now + self.push.shadow_cycles,
+                frozenset(dests))
+
+        if mode == "msp":
+            # MSP: a unicast response plus one unicast push per sharer —
+            # no multicast packets, no filtering.
+            self._reply_data_s(entry, (requester,), msg)
+            others = [dest for dest in dests if dest != requester]
+            for dest in others:
+                self._send(CoherenceMsg(
+                    MsgType.PUSH, entry.line_addr, self.tile, (dest,),
+                    requester=requester, payload=version,
+                    ack_required=True))
+            if others:
+                entry.state = DirState.P
+                entry.push_acks = len(others)
+            return
+
+        ack_required = mode == "pushack"
+        if self.push.multicast:
+            self._send(CoherenceMsg(
+                MsgType.PUSH, entry.line_addr, self.tile, tuple(dests),
+                requester=requester, payload=version,
+                ack_required=ack_required,
+                reset_push_counters=self._reset_flag(requester)))
+        else:
+            for dest in dests:
+                self._send(CoherenceMsg(
+                    MsgType.PUSH, entry.line_addr, self.tile, (dest,),
+                    requester=requester, payload=version,
+                    ack_required=ack_required))
+        if ack_required:
+            entry.state = DirState.P
+            entry.push_acks = len(dests)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def _on_getm(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        requester = msg.src
+        if entry.state is DirState.P:
+            # Semi-blocking: writes wait for the push acknowledgments.
+            entry.queue.append(msg)
+            self.stats.inc("getm_blocked_on_push")
+            return
+        if entry.state is DirState.I or (entry.state is DirState.EM
+                                         and entry.owner == requester):
+            self._grant_modified(entry, requester)
+            return
+        version = self._bump_version(entry.line_addr)
+        if entry.state is DirState.EM:
+            targets = {entry.owner}
+        else:
+            targets = set(entry.sharers) - {requester}
+        if not targets:
+            self._grant_modified(entry, requester, version)
+            return
+        entry.busy = True
+        entry.awaiting = set(targets)
+        for target in sorted(targets):
+            self._send(CoherenceMsg(
+                MsgType.INV, entry.line_addr, self.tile, (target,),
+                requester=requester, payload=version))
+
+        def grant() -> None:
+            self._grant_modified(entry, requester, version)
+
+        entry.pending_grant = grant
+
+    def _grant_modified(self, entry: DirEntry, requester: int,
+                        version: Optional[int] = None) -> None:
+        if version is None:
+            version = self._bump_version(entry.line_addr)
+        entry.state = DirState.EM
+        entry.owner = requester
+        entry.sharers.clear()
+        entry.busy = True
+        entry.awaiting = {requester}
+        entry.pending_grant = None
+        self._send(CoherenceMsg(
+            MsgType.DATA_E, entry.line_addr, self.tile, (requester,),
+            requester=requester, payload=version,
+            reset_push_counters=self._reset_flag(requester)))
+
+    def _on_putm(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        if entry.owner == msg.src:
+            self.versions[msg.line_addr] = max(
+                self.versions.get(msg.line_addr, 0), msg.payload)
+            entry.owner = None
+            entry.state = DirState.I
+            self.stats.inc("writebacks_absorbed")
+        else:
+            self.stats.inc("stale_putm_ignored")
+
+    # ------------------------------------------------------------------
+    # acknowledgments
+    # ------------------------------------------------------------------
+
+    def _on_ack(self, msg: CoherenceMsg) -> None:
+        entry = self._dir.get(msg.line_addr)
+        if entry is None:
+            self.stats.inc("orphan_acks")
+            return
+        if msg.msg_type is MsgType.PUSH_ACK:
+            if entry.state is DirState.P:
+                entry.push_acks -= 1
+                if entry.push_acks <= 0:
+                    entry.state = DirState.S
+                    self._drain(entry)
+            return
+        self._collect_ack(entry, msg)
+
+    def _collect_ack(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        if msg.src not in entry.awaiting:
+            self.stats.inc("orphan_acks")
+            return
+        entry.awaiting.discard(msg.src)
+        if msg.msg_type is MsgType.PUTM:
+            self.versions[msg.line_addr] = max(
+                self.versions.get(msg.line_addr, 0), msg.payload)
+        if entry.sharers:
+            entry.sharers.discard(msg.src)
+        if not entry.awaiting:
+            grant = entry.pending_grant
+            entry.pending_grant = None
+            if grant is not None:
+                grant()
+            if not entry.awaiting:
+                # The grant may itself have re-blocked the line (an
+                # exclusive grant awaits its UNBLOCK receipt ack).
+                self._drain(entry)
+
+    # ------------------------------------------------------------------
+    # fills and capacity
+    # ------------------------------------------------------------------
+
+    def _on_mem_data(self, line_addr: int) -> None:
+        entry = self._dir.get(line_addr)
+        if entry is None or not entry.filling:
+            raise ProtocolError(
+                f"unexpected memory fill for 0x{line_addr:x}")
+        entry.filling = False
+        entry.resident = True
+        self._install_array_line(line_addr)
+        queued, entry.queue = entry.queue, []
+        for msg in queued:
+            self._process_resident(entry, msg)
+
+    def _process_resident(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+        if entry.busy:
+            if self._ack_like(entry, msg):
+                self._collect_ack(entry, msg)
+            else:
+                entry.queue.append(msg)
+        else:
+            self._dispatch(entry, msg)
+
+    def _install_array_line(self, line_addr: int) -> None:
+        if self.array.lookup(line_addr, touch=False) is not None:
+            return
+
+        def evictable(line: CacheLine) -> bool:
+            victim = self._dir.get(line.line_addr)
+            return (victim is None
+                    or (not victim.busy and not victim.filling
+                        and not victim.sharers and victim.owner is None))
+
+        try:
+            victim = self.array.evict_victim(line_addr, evictable)
+        except LookupError:
+            victim = self._back_invalidate(line_addr)
+            if victim is None:
+                # Every line in the set is pinned by an in-flight
+                # transaction: track the line in the directory only
+                # (counted as capacity overcommit) rather than deadlock.
+                return
+        if victim is not None:
+            self._dir.pop(victim.line_addr, None)
+            self.stats.inc("llc_evictions")
+        self.array.install(CacheLine(line_addr, DirState.S))
+
+    def _back_invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Evict a line still cached above: fire-and-forget INVs.
+
+        The directory entry is removed immediately; the in-flight acks
+        are absorbed by the orphan-ack path and any racing PUTM (no
+        entry) is forwarded to memory, so the line's latest version is
+        never lost.
+        """
+        def evictable(line: CacheLine) -> bool:
+            victim = self._dir.get(line.line_addr)
+            return (victim is None
+                    or (not victim.busy and not victim.filling
+                        and victim.state is not DirState.P))
+
+        try:
+            victim = self.array.evict_victim(line_addr, evictable)
+        except LookupError:
+            self.stats.inc("llc_capacity_overcommit")
+            return None
+        if victim is None:
+            return None
+        entry = self._dir.get(victim.line_addr)
+        if entry is not None:
+            version = self._bump_version(victim.line_addr)
+            targets = set(entry.sharers)
+            if entry.owner is not None:
+                targets.add(entry.owner)
+            for target in sorted(targets):
+                self._send(CoherenceMsg(
+                    MsgType.INV, victim.line_addr, self.tile, (target,),
+                    requester=self.tile, payload=version))
+            self.stats.inc("llc_back_invalidations")
+        return victim
+
+    def _shadow_filtered(self, line_addr: int, requester: int) -> bool:
+        shadow = self._push_shadow.get(line_addr)
+        if shadow is None:
+            return False
+        expiry, dests = shadow
+        if self.scheduler.now > expiry:
+            del self._push_shadow[line_addr]
+            return False
+        return requester in dests
+
+    # ------------------------------------------------------------------
+    # resume knob (paper Fig. 9)
+    # ------------------------------------------------------------------
+
+    def _phase_is_resume(self) -> bool:
+        window = self.push.time_window
+        return (self.scheduler.now // window) % 2 == 1
+
+    def _knob_on_request(self, requester: int, need_push: bool) -> None:
+        if not (self.push.pushes and self.push.dynamic_knob):
+            return
+        if self._phase_is_resume():
+            self.pdrmap.discard(requester)
+        elif need_push:
+            self.pdrmap.discard(requester)
+        else:
+            self.pdrmap.add(requester)
+
+    def _reset_flag(self, requester: int) -> bool:
+        if not (self.push.pushes and self.push.dynamic_knob):
+            return False
+        if not self._phase_is_resume():
+            return False
+        self.pdrmap.discard(requester)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _bump_version(self, line_addr: int) -> int:
+        version = self.versions.get(line_addr, 0) + 1
+        self.versions[line_addr] = version
+        return version
+
+    def _send(self, msg: CoherenceMsg) -> None:
+        flits = (self._data_flits if msg.carries_data else 1)
+        self.stats.child("inject").inc(msg.traffic_class.name, flits)
+        self._send_msg(msg)
+
+    def directory_entry(self, line_addr: int) -> Optional[DirEntry]:
+        """Inspection helper for tests."""
+        return self._dir.get(line_addr)

@@ -1,0 +1,450 @@
+"""Private cache hierarchy of one tile: L1D timing filter + coherent L2.
+
+The L2 is the coherence point facing the NoC (as in the paper's setup,
+where pushes land in the private L2).  The L1D is modelled as an
+inclusive write-through subset of the L2 used only for hit timing — a
+standard simplification that keeps all coherence state in one place.
+
+Push-specific behaviour implemented here (paper §III-B and §III-D):
+
+* guaranteed acceptance of a push that matches an outstanding read miss
+  (it *is* the response — Early-Resp when the GETS was filtered);
+* the drop rules: redundancy (line already resident), coherence
+  (conflicting in-flight upgrade or stale version), and deadlock
+  avoidance (no evictable way in the target set);
+* the ``pushed`` / ``accessed`` status bits and the TPC/UPC counters
+  behind the feedback pause knob, including the counter overflow shift
+  and the LLC-initiated reset.
+
+The module also enforces the data-value invariant at install time: a
+line installed with a payload version older than the newest invalidation
+seen for that address indicates a protocol bug and raises
+:class:`~repro.common.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.common.addr import line_of
+from repro.common.errors import ProtocolError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import SystemParams
+from repro.common.scheduler import Scheduler
+from repro.common.stats import StatGroup
+from repro.cache.coherence import PrivState, writable
+from repro.cache.mshr import MSHRFile
+from repro.cache.sram import CacheArray, CacheLine
+
+#: cycles to wait before retrying when the MSHR file is full
+_MSHR_RETRY_CYCLES = 4
+
+
+class PrivateCache:
+    """L1D + private L2 controller for one tile."""
+
+    def __init__(self, tile: int, params: SystemParams,
+                 scheduler: Scheduler,
+                 send: Callable[[CoherenceMsg], None],
+                 home_of: Callable[[int], int],
+                 stats: Optional[StatGroup] = None) -> None:
+        self.tile = tile
+        self.params = params
+        self.scheduler = scheduler
+        self._send_msg = send
+        self._home_of = home_of
+        self._data_flits = params.noc.data_packet_flits
+        self.l1 = CacheArray(params.l1)
+        self.l2 = CacheArray(params.l2)
+        self.mshrs = MSHRFile(params.l2.mshrs)
+        self.stats = stats if stats is not None else StatGroup(f"l2_{tile}")
+        #: newest invalidation version seen per line (data-value check)
+        self._last_inv_version: Dict[int, int] = {}
+        #: MSHRs that received an INV while the fill was in flight
+        self._inv_pending: set = set()
+        #: demand accesses stalled on a full MSHR file, woken on release
+        self._mshr_waiters: Deque[Tuple[int, bool, Optional[Callable]]] = (
+            deque())
+        # -- pause knob state (paper Fig. 8) --
+        self.tpc = 0
+        self.upc = 0
+        self.prefetcher = None  # wired by the system after construction
+
+    # ------------------------------------------------------------------
+    # core-facing API
+    # ------------------------------------------------------------------
+
+    def access(self, byte_addr: int, is_write: bool,
+               on_complete: Optional[Callable[[], None]],
+               is_prefetch: bool = False, pc: int = 0) -> None:
+        """One memory operation from the core (or a prefetcher).
+
+        ``on_complete`` fires when the operation's data is available (or
+        permissions granted, for writes).  Prefetches pass None.
+        """
+        line_addr = line_of(byte_addr)
+        if not is_prefetch:
+            self.stats.inc("demand_accesses")
+            if self.prefetcher is not None:
+                self.prefetcher.observe(byte_addr, pc, is_write)
+
+        l1_line = self.l1.lookup(line_addr)
+        l2_line = self.l2.lookup(line_addr)
+        if l1_line is not None and l2_line is None:
+            raise ProtocolError("L1 holds a line absent from the L2")
+
+        if l2_line is not None and (not is_write or writable(l2_line.state)):
+            self._hit(line_addr, l1_line, l2_line, is_write,
+                      on_complete, is_prefetch)
+            return
+
+        if not is_prefetch:
+            self.stats.inc("demand_misses"
+                           if l2_line is None else "upgrade_misses")
+        self._miss(line_addr, is_write, on_complete, is_prefetch, l2_line)
+
+    def _hit(self, line_addr: int, l1_line: Optional[CacheLine],
+             l2_line: CacheLine, is_write: bool,
+             on_complete: Optional[Callable[[], None]],
+             is_prefetch: bool) -> None:
+        latency = (self.params.core.l1_hit_cycles if l1_line is not None
+                   else self.params.l2.hit_latency)
+        if not is_prefetch:
+            self.stats.inc("l1_hits" if l1_line is not None else "l2_hits")
+            self._note_push_use(l2_line)
+            if l1_line is None:
+                self._fill_l1(line_addr)
+        if is_write:
+            l2_line.state = PrivState.M
+            l2_line.dirty = True
+        if on_complete is not None:
+            self.scheduler.after(latency, on_complete)
+
+    def _note_push_use(self, line: CacheLine) -> None:
+        """First demand touch of a pushed line: the Miss-to-Hit case."""
+        if line.pushed and not line.accessed:
+            self.stats.inc("push_miss_to_hit")
+            self._count_useful_push()
+        line.accessed = True
+
+    def _miss(self, line_addr: int, is_write: bool,
+              on_complete: Optional[Callable[[], None]],
+              is_prefetch: bool, resident: Optional[CacheLine]) -> None:
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None:
+            if is_write and mshr.req_type is MsgType.GETS:
+                # Read outstanding but we need ownership: retry the write
+                # once the read completes (it will take the upgrade path).
+                mshr.add_waiter(lambda: self.access(
+                    line_addr * 64, True, on_complete, is_prefetch))
+            elif on_complete is not None:
+                mshr.add_waiter(on_complete)
+            self.stats.inc("mshr_merges")
+            return
+        if self.mshrs.full:
+            self.stats.inc("mshr_stalls")
+            if is_prefetch:
+                # Prefetches are best-effort: drop on structural hazard.
+                self.stats.inc("prefetches_dropped")
+                return
+            self._mshr_waiters.append((line_addr, is_write, on_complete))
+            return
+
+        req_type = MsgType.GETM if is_write else MsgType.GETS
+        mshr = self.mshrs.allocate(line_addr, req_type, self.scheduler.now,
+                                   is_prefetch)
+        if on_complete is not None:
+            mshr.add_waiter(on_complete)
+        if is_write and resident is not None:
+            # Upgrade: the S copy stays resident and pinned until DATA_E.
+            resident.blocked = True
+            mshr.had_line_in_s = True
+        self._send(CoherenceMsg(
+            req_type, line_addr, self.tile, (self._home_of(line_addr),),
+            requester=self.tile, need_push=self._need_push(),
+            is_prefetch=is_prefetch))
+
+    # ------------------------------------------------------------------
+    # network-facing API
+    # ------------------------------------------------------------------
+
+    def deliver(self, msg: CoherenceMsg) -> None:
+        """Message ejected from the NoC destined for this private cache."""
+        self.stats.inc("ejected_msgs")
+        flits = self._data_flits if msg.carries_data else 1
+        self.stats.child("eject").inc(msg.traffic_class.name, flits)
+        handler = {
+            MsgType.DATA_S: self._on_data,
+            MsgType.DATA_E: self._on_data,
+            MsgType.PUSH: self._on_push,
+            MsgType.INV: self._on_inv,
+            MsgType.DOWNGRADE: self._on_downgrade,
+            MsgType.WB_ACK: lambda m: None,
+        }.get(msg.msg_type)
+        if handler is None:
+            raise ProtocolError(
+                f"private cache {self.tile} cannot handle {msg}")
+        handler(msg)
+
+    def note_request_filtered(self, line_addr: int) -> None:
+        """The in-network filter pruned our GETS; the push will serve it."""
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None:
+            mshr.filtered = True
+        self.stats.inc("requests_filtered_in_network")
+
+    # -- responses ---------------------------------------------------------
+
+    def _on_data(self, msg: CoherenceMsg) -> None:
+        mshr = self.mshrs.get(msg.line_addr)
+        if msg.reset_push_counters:
+            self._reset_push_counters()
+        if mshr is None:
+            # A push already served this miss and the LLC's unicast
+            # response (sent from state P) arrived afterwards.
+            if msg.msg_type is MsgType.DATA_E:
+                # Unreachable by construction (E grants are serialized
+                # by UNBLOCK), but never leave the directory blocked.
+                self._send(CoherenceMsg(
+                    MsgType.UNBLOCK, msg.line_addr, self.tile,
+                    (msg.src,), requester=self.tile))
+            self.stats.inc("stale_responses_dropped")
+            return
+        if mshr.req_type is MsgType.GETM or msg.msg_type is MsgType.DATA_E:
+            self._complete_exclusive(msg, mshr)
+        else:
+            self._complete_shared(msg, mshr, pushed=False)
+
+    def _complete_exclusive(self, msg: CoherenceMsg, mshr) -> None:
+        line_addr = msg.line_addr
+        # The directory holds the line blocked until this receipt ack,
+        # so a later write's invalidation can never overtake the grant.
+        self._send(CoherenceMsg(
+            MsgType.UNBLOCK, line_addr, self.tile, (msg.src,),
+            requester=self.tile))
+        is_write = mshr.req_type is MsgType.GETM
+        state = PrivState.M if is_write else PrivState.E
+        if mshr.had_line_in_s:
+            line = self.l2.lookup(line_addr, touch=True)
+            if line is None:
+                raise ProtocolError("upgrade completed but S copy vanished")
+            line.state = state
+            line.blocked = False
+            line.payload = msg.payload
+            line.dirty = is_write
+        else:
+            self._install_l2(line_addr, state, msg.payload,
+                             dirty=is_write, pushed=False,
+                             prefetched=mshr.is_prefetch)
+            if not mshr.is_prefetch:
+                self._fill_l1(line_addr)
+        self._finish_mshr(msg.line_addr)
+
+    def _complete_shared(self, msg: CoherenceMsg, mshr,
+                         pushed: bool) -> None:
+        line_addr = msg.line_addr
+        if line_addr in self._inv_pending:
+            # Read ordered before the racing write: serve the waiters the
+            # old (still legal) value but do not install the dead line.
+            self._inv_pending.discard(line_addr)
+            self.stats.inc("inv_raced_fills")
+        else:
+            self._install_l2(line_addr, PrivState.S, msg.payload,
+                             dirty=False, pushed=pushed,
+                             prefetched=mshr.is_prefetch)
+            if not mshr.is_prefetch:
+                self._fill_l1(line_addr)
+        self._finish_mshr(line_addr)
+
+    def _finish_mshr(self, line_addr: int) -> None:
+        mshr = self.mshrs.release(line_addr)
+        latency = self.scheduler.now - mshr.issued_at
+        self.stats.histogram("miss_latency", bucket_width=16).record(latency)
+        mshr.complete()
+        if self._mshr_waiters and not self.mshrs.full:
+            stalled_line, is_write, on_complete = (
+                self._mshr_waiters.popleft())
+            self.access(stalled_line * 64, is_write, on_complete)
+
+    # -- pushes --------------------------------------------------------------
+
+    def _on_push(self, msg: CoherenceMsg) -> None:
+        """Speculative pushed data (paper §III-B drop rules + Fig. 12)."""
+        self._count_received_push()
+        if msg.ack_required:
+            self._send(CoherenceMsg(
+                MsgType.PUSH_ACK, msg.line_addr, self.tile, (msg.src,),
+                requester=self.tile))
+        line_addr = msg.line_addr
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None:
+            if mshr.req_type is MsgType.GETM:
+                self.stats.inc("push_coherence_drop")
+                return
+            self.stats.inc("push_early_resp")
+            self._count_useful_push()
+            self._complete_shared(msg, mshr, pushed=True)
+            return
+        if self.l2.lookup(line_addr, touch=False) is not None:
+            self.stats.inc("push_redundancy_drop")
+            return
+        if msg.payload < self._last_inv_version.get(line_addr, 0):
+            # A stale push that lost a race with an invalidation must not
+            # install (data-value invariant); with PushAck/OrdPush
+            # serialization this path is unreachable.
+            self.stats.inc("push_coherence_drop")
+            return
+        if not self._make_room(line_addr, for_push=True):
+            self.stats.inc("push_deadlock_drop")
+            return
+        line = CacheLine(line_addr, PrivState.S, msg.payload)
+        line.pushed = True
+        self.l2.install(line)
+        self.stats.inc("push_installed")
+
+    # -- invalidations / downgrades -----------------------------------------
+
+    def _on_inv(self, msg: CoherenceMsg) -> None:
+        line_addr = msg.line_addr
+        self._last_inv_version[line_addr] = max(
+            self._last_inv_version.get(line_addr, 0), msg.payload)
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None and mshr.req_type is MsgType.GETS:
+            self._inv_pending.add(line_addr)
+        line = self.l2.lookup(line_addr, touch=False)
+        if line is not None:
+            if mshr is not None and mshr.had_line_in_s:
+                # Upgrade race: our S copy dies but the GETM stays queued
+                # at the directory and will be granted with fresh data.
+                line.blocked = False
+                mshr.had_line_in_s = False
+                self._drop_line(line)
+            else:
+                was_dirty = line.dirty
+                self._drop_line(line)
+                if was_dirty:
+                    self._send(CoherenceMsg(
+                        MsgType.PUTM, line_addr, self.tile, (msg.src,),
+                        requester=self.tile, payload=line.payload))
+                    return
+        self._send(CoherenceMsg(
+            MsgType.INV_ACK, line_addr, self.tile, (msg.src,),
+            requester=self.tile))
+
+    def _on_downgrade(self, msg: CoherenceMsg) -> None:
+        line_addr = msg.line_addr
+        line = self.l2.lookup(line_addr, touch=False)
+        if line is None or line.state is PrivState.S:
+            # Silently evicted (or already shared): clean acknowledgment.
+            self._send(CoherenceMsg(
+                MsgType.INV_ACK, line_addr, self.tile, (msg.src,),
+                requester=self.tile))
+            return
+        was_dirty = line.dirty
+        line.state = PrivState.S
+        line.dirty = False
+        if was_dirty:
+            self._send(CoherenceMsg(
+                MsgType.PUTM, line_addr, self.tile, (msg.src,),
+                requester=self.tile, payload=line.payload))
+        else:
+            self._send(CoherenceMsg(
+                MsgType.INV_ACK, line_addr, self.tile, (msg.src,),
+                requester=self.tile))
+
+    # ------------------------------------------------------------------
+    # array management
+    # ------------------------------------------------------------------
+
+    def _install_l2(self, line_addr: int, state: PrivState, payload: int,
+                    dirty: bool, pushed: bool, prefetched: bool) -> None:
+        if payload < self._last_inv_version.get(line_addr, 0):
+            raise ProtocolError(
+                f"data-value invariant violated at tile {self.tile}: "
+                f"line 0x{line_addr:x} installs version {payload} after "
+                f"invalidation {self._last_inv_version[line_addr]}")
+        if not self._make_room(line_addr, for_push=False):
+            # Every way pinned by in-flight upgrades: skip the install
+            # (the LLC retains the line) rather than risk a deadlock.
+            self.stats.inc("fills_skipped_set_blocked")
+            return
+        line = CacheLine(line_addr, state, payload)
+        line.dirty = dirty
+        line.pushed = pushed
+        line.prefetched = prefetched
+        self.l2.install(line)
+
+    def _make_room(self, line_addr: int, for_push: bool) -> bool:
+        """Free a way in the line's L2 set; False if impossible."""
+        try:
+            victim = self.l2.evict_victim(
+                line_addr, evictable=lambda line: not line.blocked)
+        except LookupError:
+            return False
+        if victim is not None:
+            self._drop_line(victim, evicted=True)
+            if victim.dirty:
+                self.stats.inc("writebacks")
+                self._send(CoherenceMsg(
+                    MsgType.PUTM, victim.line_addr, self.tile,
+                    (self._home_of(victim.line_addr),),
+                    requester=self.tile, payload=victim.payload))
+        return True
+
+    def _drop_line(self, line: CacheLine, evicted: bool = False) -> None:
+        """Bookkeeping common to eviction and invalidation."""
+        self.l2.remove(line.line_addr)
+        self.l1.remove(line.line_addr)
+        if line.pushed and not line.accessed:
+            self.stats.inc("push_unused")
+        if evicted:
+            self.stats.inc("evictions")
+
+    def _fill_l1(self, line_addr: int) -> None:
+        if self.l1.lookup(line_addr, touch=False) is not None:
+            return
+        victim = self.l1.evict_victim(line_addr)
+        if victim is not None:
+            pass  # L1 is write-through: evictions are always silent
+        self.l1.install(CacheLine(line_addr, PrivState.S))
+
+    # ------------------------------------------------------------------
+    # pause knob (paper §III-D)
+    # ------------------------------------------------------------------
+
+    def _need_push(self) -> bool:
+        """The need_push bit sent with each GETS (paper Fig. 8)."""
+        push = self.params.push
+        if not (push.pushes and push.dynamic_knob):
+            return True
+        if self.tpc < push.tpc_threshold:
+            return True
+        return (self.tpc >> push.useful_ratio_log2) <= self.upc
+
+    def _count_received_push(self) -> None:
+        limit = (1 << self.params.push.counter_bits) - 1
+        if self.tpc >= limit:
+            self.tpc >>= 1
+            self.upc >>= 1
+        self.tpc += 1
+
+    def _count_useful_push(self) -> None:
+        self.upc += 1
+
+    def _reset_push_counters(self) -> None:
+        self.tpc = 0
+        self.upc = 0
+        self.stats.inc("push_counter_resets")
+
+    # ------------------------------------------------------------------
+
+    def _send(self, msg: CoherenceMsg) -> None:
+        flits = self._data_flits if msg.carries_data else 1
+        self.stats.child("inject").inc(msg.traffic_class.name, flits)
+        self._send_msg(msg)
+
+    def read_value(self, byte_addr: int) -> Optional[int]:
+        """The payload version currently readable here (tests/debug)."""
+        line = self.l2.lookup(line_of(byte_addr), touch=False)
+        return None if line is None else line.payload

@@ -1,0 +1,100 @@
+"""Replacement policies for the set-associative arrays.
+
+Two policies are provided: true LRU (the default, matching the paper's
+gem5 setup) and tree pseudo-LRU (cheaper hardware, available for
+sensitivity experiments).  A policy instance manages one cache's worth of
+state, indexed by (set, way).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class ReplacementPolicy:
+    """Interface: tracks recency and picks victims inside one set."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a hit/fill on (set, way)."""
+        raise NotImplementedError
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        """Pick the way to evict among ``candidates`` (non-empty)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used with per-set recency stamps."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._stamp = 0
+        self._stamps: List[List[int]] = [
+            [0] * assoc for _ in range(num_sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._stamp += 1
+        self._stamps[set_index][way] = self._stamp
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        stamps = self._stamps[set_index]
+        return min(candidates, key=lambda way: stamps[way])
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two associativity.
+
+    Falls back to plain LRU semantics when the associativity is not a
+    power of two (tree PLRU is undefined there).
+    """
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._pow2 = assoc >= 2 and (assoc & (assoc - 1)) == 0
+        if self._pow2:
+            self._bits: List[List[bool]] = [
+                [False] * (assoc - 1) for _ in range(num_sets)]
+        else:
+            self._fallback = LRUPolicy(num_sets, assoc)
+
+    def touch(self, set_index: int, way: int) -> None:
+        if not self._pow2:
+            self._fallback.touch(set_index, way)
+            return
+        bits = self._bits[set_index]
+        node = 0
+        low, high = 0, self.assoc
+        while high - low > 1:
+            mid = (low + high) // 2
+            went_right = way >= mid
+            bits[node] = not went_right  # point away from the touched half
+            node = 2 * node + (2 if went_right else 1)
+            if went_right:
+                low = mid
+            else:
+                high = mid
+
+    def victim(self, set_index: int, candidates: Sequence[int]) -> int:
+        if not self._pow2:
+            return self._fallback.victim(set_index, candidates)
+        bits = self._bits[set_index]
+        candidate_set = set(candidates)
+        node = 0
+        low, high = 0, self.assoc
+        while high - low > 1:
+            mid = (low + high) // 2
+            go_right = bits[node]
+            # Respect the tree direction unless no candidate lives there.
+            right_has = any(mid <= c < high for c in candidate_set)
+            left_has = any(low <= c < mid for c in candidate_set)
+            if go_right and right_has or not left_has:
+                node = 2 * node + 2
+                low = mid
+            else:
+                node = 2 * node + 1
+                high = mid
+        return low

@@ -1,0 +1,126 @@
+"""Set-associative cache array shared by the private caches and the LLC.
+
+The array stores :class:`CacheLine` records; coherence *stable* state
+lives on the line, while transient state lives in the MSHRs (a line is
+only present in the array when its data is).  The array is policy-aware:
+victims can be restricted to evictable lines so pushed data never evicts
+a line with an in-flight upgrade (the deadlock-drop rule of §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.addr import AddressMap
+from repro.common.params import CacheParams
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+
+
+class CacheLine:
+    """One resident cache line."""
+
+    __slots__ = ("line_addr", "state", "dirty", "payload",
+                 "pushed", "accessed", "blocked", "prefetched")
+
+    def __init__(self, line_addr: int, state, payload: int = 0) -> None:
+        self.line_addr = line_addr
+        self.state = state
+        self.dirty = False
+        self.payload = payload
+        #: paper §III-D status bits for the pause knob
+        self.pushed = False
+        self.accessed = False
+        #: set while a transaction (e.g. upgrade) pins this line in place
+        self.blocked = False
+        self.prefetched = False
+
+    def __repr__(self) -> str:
+        return (f"CacheLine(0x{self.line_addr:x}, {self.state}, "
+                f"dirty={self.dirty}, pushed={self.pushed})")
+
+
+class CacheArray:
+    """Tag/data array with pluggable replacement."""
+
+    def __init__(self, params: CacheParams,
+                 policy_factory: Callable[[int, int], ReplacementPolicy]
+                 = LRUPolicy) -> None:
+        self.params = params
+        self.num_sets = params.num_sets
+        self.assoc = params.assoc
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(self.num_sets)]
+        self._ways: List[Dict[int, int]] = [
+            {} for _ in range(self.num_sets)]  # line_addr -> way
+        self._free_ways: List[List[int]] = [
+            list(range(self.assoc)) for _ in range(self.num_sets)]
+        self._policy = policy_factory(self.num_sets, self.assoc)
+
+    def set_index(self, line_addr: int) -> int:
+        return AddressMap.set_index(line_addr, self.num_sets)
+
+    def lookup(self, line_addr: int, touch: bool = True
+               ) -> Optional[CacheLine]:
+        """The resident line, or None.  Updates recency when ``touch``."""
+        index = self.set_index(line_addr)
+        line = self._sets[index].get(line_addr)
+        if line is not None and touch:
+            self._policy.touch(index, self._ways[index][line_addr])
+        return line
+
+    def install(self, line: CacheLine) -> None:
+        """Place a line; the caller must have ensured a free way exists."""
+        index = self.set_index(line.line_addr)
+        if line.line_addr in self._sets[index]:
+            raise KeyError(f"line 0x{line.line_addr:x} already resident")
+        if not self._free_ways[index]:
+            raise IndexError("no free way; evict first")
+        way = self._free_ways[index].pop()
+        self._sets[index][line.line_addr] = line
+        self._ways[index][line.line_addr] = way
+        self._policy.touch(index, way)
+
+    def evict_victim(self, line_addr: int,
+                     evictable: Callable[[CacheLine], bool] = lambda l: True
+                     ) -> Optional[CacheLine]:
+        """Free a way in ``line_addr``'s set; returns the evicted line.
+
+        Returns None when a way was already free (nothing evicted) and
+        raises LookupError when every resident line fails ``evictable``
+        (the caller decides what to do — e.g. drop a pushed line).
+        """
+        index = self.set_index(line_addr)
+        if self._free_ways[index]:
+            return None
+        candidates = [self._ways[index][addr]
+                      for addr, line in self._sets[index].items()
+                      if evictable(line)]
+        if not candidates:
+            raise LookupError("no evictable line in set")
+        way = self._policy.victim(index, candidates)
+        victim_addr = next(addr for addr, w in self._ways[index].items()
+                           if w == way)
+        return self._remove(index, victim_addr)
+
+    def remove(self, line_addr: int) -> Optional[CacheLine]:
+        """Invalidate a specific line if resident."""
+        index = self.set_index(line_addr)
+        if line_addr not in self._sets[index]:
+            return None
+        return self._remove(index, line_addr)
+
+    def _remove(self, index: int, line_addr: int) -> CacheLine:
+        line = self._sets[index].pop(line_addr)
+        way = self._ways[index].pop(line_addr)
+        self._free_ways[index].append(way)
+        return line
+
+    def has_free_way(self, line_addr: int) -> bool:
+        return bool(self._free_ways[self.set_index(line_addr)])
+
+    def resident_lines(self) -> List[CacheLine]:
+        """All resident lines (test/debug helper)."""
+        return [line for bucket in self._sets for line in bucket.values()]
+
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

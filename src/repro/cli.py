@@ -1,0 +1,145 @@
+"""Command-line interface for the Push Multicast simulator.
+
+Three subcommands::
+
+    python -m repro.cli run cachebw ordpush --cores 16 --scaled
+    python -m repro.cli compare cachebw --configs baseline ordpush
+    python -m repro.cli list
+
+``run`` executes one (workload, config) cell and prints the full result
+record; ``compare`` sweeps configurations on one workload and prints a
+normalized table; ``list`` shows the workload catalogue and the named
+configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.config import CONFIG_NAMES, bench_kwargs
+from repro.sim.results import PUSH_CATEGORIES, SimResult
+from repro.sim.runner import run_workload
+from repro.workloads.registry import WORKLOADS, workload_names
+
+
+def _hw_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = dict(bench_kwargs()) if args.scaled else {}
+    if args.link_bits is not None:
+        kwargs["link_bits"] = args.link_bits
+    if args.tpc_threshold is not None:
+        kwargs["tpc_threshold"] = args.tpc_threshold
+    if args.time_window is not None:
+        kwargs["time_window"] = args.time_window
+    return kwargs
+
+
+def _print_result(result: SimResult) -> None:
+    print(result.summary())
+    print(f"  cycles            : {result.cycles}")
+    print(f"  instructions      : {result.instructions}")
+    print(f"  L2 MPKI           : {result.l2_mpki:.1f}")
+    print(f"  L2 miss rate      : {result.l2_miss_rate:.1%}")
+    print(f"  NoC flit-hops     : {result.total_flits}")
+    print(f"  injection load    : {result.injection_load:.3f} "
+          f"flits/cycle/node")
+    print("  traffic breakdown :")
+    for name, fraction in result.traffic_fractions().items():
+        if fraction > 0:
+            print(f"    {name:18s} {fraction:6.1%}")
+    if result.pushes_triggered:
+        print(f"  pushes triggered  : {result.pushes_triggered} "
+              f"(mean degree {result.mean_push_degree:.1f})")
+        print(f"  push accuracy     : {result.push_accuracy():.1%}")
+        print(f"  requests filtered : {result.requests_filtered}")
+        print("  push usage        :")
+        for name in PUSH_CATEGORIES:
+            print(f"    {name:24s} {result.push_usage[name]}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(args.workload, args.config,
+                          num_cores=args.cores, seed=args.seed,
+                          **_hw_kwargs(args))
+    _print_result(result)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    kwargs = _hw_kwargs(args)
+    baseline = run_workload(args.workload, args.configs[0],
+                            num_cores=args.cores, seed=args.seed,
+                            **kwargs)
+    print(f"{args.workload} on {args.cores} cores "
+          f"(reference: {args.configs[0]})")
+    print(f"{'config':18s}{'speedup':>9s}{'traffic':>9s}{'mpki':>8s}"
+          f"{'push acc':>10s}")
+    rows = [(args.configs[0], baseline)]
+    for config in args.configs[1:]:
+        rows.append((config, run_workload(
+            args.workload, config, num_cores=args.cores, seed=args.seed,
+            **kwargs)))
+    for config, result in rows:
+        print(f"{config:18s}{result.speedup_over(baseline):8.2f}x"
+              f"{result.traffic_vs(baseline):9.2f}"
+              f"{result.l2_mpki:8.1f}"
+              f"{result.push_accuracy():9.1%}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads (Table II):")
+    for name in workload_names():
+        definition = WORKLOADS[name]
+        print(f"  {name:16s} {definition.description} "
+              f"[sharing={definition.sharing}, load={definition.load}]")
+    print("\nconfigurations:")
+    for name in CONFIG_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Push Multicast simulator CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cores", type=int, default=16)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--scaled", action="store_true",
+                       help="use the 8x-scaled bench cache profile")
+        p.add_argument("--link-bits", type=int, default=None,
+                       choices=(64, 128, 256, 512))
+        p.add_argument("--tpc-threshold", type=int, default=None)
+        p.add_argument("--time-window", type=int, default=None)
+
+    run_p = sub.add_parser("run", help="run one workload/config cell")
+    run_p.add_argument("workload", choices=workload_names())
+    run_p.add_argument("config", choices=list(CONFIG_NAMES))
+    common(run_p)
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="sweep configs on a workload")
+    cmp_p.add_argument("workload", choices=workload_names())
+    cmp_p.add_argument("--configs", nargs="+",
+                       default=["baseline", "coalesce", "pushack",
+                                "ordpush"],
+                       choices=list(CONFIG_NAMES))
+    common(cmp_p)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    list_p = sub.add_parser("list", help="show workloads and configs")
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

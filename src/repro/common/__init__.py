@@ -1,0 +1,40 @@
+"""Shared substrate: configuration, statistics, addressing, messages."""
+
+from repro.common.addr import AddressMap
+from repro.common.errors import ConfigError, ProtocolError, SimulationError
+from repro.common.messages import (
+    CoherenceMsg,
+    MsgType,
+    TrafficClass,
+    traffic_class_of,
+)
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    NoCParams,
+    PrefetchParams,
+    PushParams,
+    SystemParams,
+)
+from repro.common.stats import Histogram, StatGroup
+
+__all__ = [
+    "AddressMap",
+    "CacheParams",
+    "CoherenceMsg",
+    "ConfigError",
+    "CoreParams",
+    "Histogram",
+    "MemoryParams",
+    "MsgType",
+    "NoCParams",
+    "PrefetchParams",
+    "ProtocolError",
+    "PushParams",
+    "SimulationError",
+    "StatGroup",
+    "SystemParams",
+    "TrafficClass",
+    "traffic_class_of",
+]

@@ -1,0 +1,57 @@
+"""Address manipulation and LLC home-slice mapping.
+
+All simulator traffic is expressed in *line addresses* (byte address
+divided by the 64-byte line size).  Workload generators hand out byte
+addresses; the tile logic converts once at the L1 boundary and every
+structure below that point works on line addresses.
+
+The shared LLC is statically partitioned into one slice per tile.  A line
+address maps to its *home* slice with a simple interleaving hash, the
+standard approach in sliced-LLC manycores (and what gem5's Ruby uses by
+default).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.params import LINE_BYTES
+
+
+def line_of(byte_addr: int) -> int:
+    """Line address containing the given byte address."""
+    return byte_addr // LINE_BYTES
+
+
+def byte_of(line_addr: int) -> int:
+    """First byte address of the given line."""
+    return line_addr * LINE_BYTES
+
+
+class AddressMap:
+    """Maps line addresses to LLC home slices and cache sets.
+
+    The home hash XOR-folds the upper line-address bits into the slice
+    index so that strided access patterns spread across slices instead of
+    hammering one, mimicking the address hashing of real sliced LLCs.
+    """
+
+    def __init__(self, num_slices: int) -> None:
+        if num_slices < 1:
+            raise ConfigError("num_slices must be >= 1")
+        self.num_slices = num_slices
+
+    def home_slice(self, line_addr: int) -> int:
+        """Home LLC slice (== tile id) for a line address."""
+        folded = line_addr ^ (line_addr >> 7) ^ (line_addr >> 13)
+        return folded % self.num_slices
+
+    @staticmethod
+    def set_index(line_addr: int, num_sets: int) -> int:
+        """Set index within a cache with ``num_sets`` sets (power of two)."""
+        return line_addr & (num_sets - 1)
+
+    @staticmethod
+    def region_of(line_addr: int, region_bytes: int) -> int:
+        """Spatial region id for prefetcher bookkeeping."""
+        lines_per_region = region_bytes // LINE_BYTES
+        return line_addr // lines_per_region

@@ -1,0 +1,31 @@
+"""Exception types raised by the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  The three concrete subclasses separate configuration
+mistakes (caller's fault, raised eagerly at construction time) from
+protocol invariant violations (a bug in a coherence controller) and
+generic simulation failures (e.g. deadlock detection firing).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A cache coherence invariant was violated.
+
+    Raised when a controller receives a message that is illegal in its
+    current state.  This always indicates a bug in the protocol
+    implementation, never a recoverable runtime condition.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation could not make forward progress (e.g. deadlock)."""

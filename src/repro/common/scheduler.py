@@ -1,0 +1,58 @@
+"""Discrete event scheduler used alongside the cycle-driven NoC.
+
+Routers tick every active cycle; everything with a fixed latency (cache
+lookups, memory access, core wakeups, packet arrivals) schedules a
+callback here instead.  The runner drains events due at the current
+cycle before ticking the network, so a component's event handlers always
+observe a consistent pre-tick state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class Scheduler:
+    """A min-heap of (cycle, sequence, callback) events."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    def at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the simulation reaches ``cycle``."""
+        if cycle < self.now:
+            raise SimulationError(
+                f"scheduling into the past: {cycle} < now {self.now}")
+        heapq.heappush(self._heap, (cycle, next(self._seq), callback))
+
+    def after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        self.at(self.now + delay, callback)
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_due(self, cycle: int) -> None:
+        """Advance to ``cycle`` and run every event due at or before it.
+
+        Events scheduled by callbacks for the same cycle run in the same
+        call, in scheduling order.
+        """
+        if cycle < self.now:
+            raise SimulationError("scheduler time must not go backwards")
+        self.now = cycle
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            _, _, callback = heapq.heappop(heap)
+            callback()
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

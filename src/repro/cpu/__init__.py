@@ -1,0 +1,6 @@
+"""Core timing model and access-trace vocabulary."""
+
+from repro.cpu.core import Barrier, Core
+from repro.cpu.traces import BARRIER, MemAccess
+
+__all__ = ["BARRIER", "Barrier", "Core", "MemAccess"]

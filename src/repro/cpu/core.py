@@ -1,0 +1,153 @@
+"""Bounded-outstanding-miss core model.
+
+The paper simulates a detailed out-of-order core (8-wide, 336-entry
+ROB).  What matters for the NoC/LLC bandwidth results is the *memory-
+level parallelism* such a core exposes, so the model here issues trace
+records in order but lets up to ``max_outstanding`` memory operations be
+in flight at once — the core only stalls when that window fills or when
+a compute gap (``work`` cycles) has not yet elapsed.
+
+Barriers implement the OpenMP join at the end of parallel loops: a core
+drains its outstanding operations, arrives, and resumes when every core
+has arrived.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.common.scheduler import Scheduler
+from repro.common.stats import StatGroup
+from repro.cpu.traces import BARRIER, MemAccess, TraceRecord
+
+
+class Barrier:
+    """An all-core rendezvous; re-usable across phases."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self._waiting: List["Core"] = []
+
+    def arrive(self, core: "Core") -> None:
+        self._waiting.append(core)
+        if len(self._waiting) == self.num_cores:
+            waiting, self._waiting = self._waiting, []
+            for waiter in waiting:
+                waiter.resume_from_barrier()
+
+
+class Core:
+    """One processor core driving a private cache from a trace."""
+
+    def __init__(self, tile: int, params, scheduler: Scheduler,
+                 cache, trace: Iterable[TraceRecord],
+                 barrier: Optional[Barrier] = None,
+                 on_finished: Optional[Callable[["Core"], None]] = None,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.tile = tile
+        self.params = params
+        self.scheduler = scheduler
+        self.cache = cache
+        self.barrier = barrier
+        self.on_finished = on_finished
+        self.stats = stats if stats is not None else StatGroup(f"core{tile}")
+        self._trace: Iterator[TraceRecord] = iter(trace)
+        self._pending: Optional[TraceRecord] = None
+        self._outstanding = 0
+        self._ready_cycle = 0
+        self._last_issue = 0
+        self._at_barrier = False
+        self._step_scheduled = False
+        self.finished = False
+        self.finish_cycle: Optional[int] = None
+        self.instructions = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin executing the trace (call once after system wiring)."""
+        self._schedule_step(0)
+
+    def _schedule_step(self, delay: int) -> None:
+        if self._step_scheduled:
+            return
+        self._step_scheduled = True
+        self.scheduler.after(delay, self._step)
+
+    def _step(self) -> None:
+        self._step_scheduled = False
+        if self.finished or self._at_barrier:
+            return
+        while True:
+            record = self._next_record()
+            if record is None:
+                if self._outstanding == 0 and self._trace_exhausted:
+                    self._finish()
+                return
+            if record is BARRIER:
+                if self._outstanding > 0:
+                    return  # drain first; completions re-step us
+                self._pending = None
+                self._at_barrier = True
+                self.stats.inc("barriers")
+                self.barrier.arrive(self)
+                return
+            now = self.scheduler.now
+            if now < self._ready_cycle:
+                self._schedule_step(self._ready_cycle - now)
+                return
+            if self._outstanding >= self.params.max_outstanding:
+                self.stats.inc("window_stalls")
+                return  # a completion will re-step us
+            self._issue(record)
+
+    @property
+    def _trace_exhausted(self) -> bool:
+        return self._pending is None
+
+    def _next_record(self) -> Optional[TraceRecord]:
+        if self._pending is None:
+            record = next(self._trace, None)
+            self._pending = record
+            if isinstance(record, MemAccess):
+                # The compute gap runs from the previous issue.
+                self._ready_cycle = self._last_issue + record.work
+        return self._pending
+
+    def _issue(self, record: MemAccess) -> None:
+        self._pending = None
+        self._outstanding += 1
+        self.instructions += record.instructions
+        self.stats.inc("accesses")
+        self._last_issue = self.scheduler.now
+        self.cache.access(record.addr, record.is_write, self._on_complete,
+                          pc=record.pc)
+
+    def _on_complete(self) -> None:
+        self._outstanding -= 1
+        self.stats.inc("completions")
+        if not self._at_barrier:
+            self._schedule_step(0)
+            return
+        # We cannot be at a barrier with operations still issuing; the
+        # barrier is only entered once the window drained.
+        raise AssertionError("completion while parked at a barrier")
+
+    def resume_from_barrier(self) -> None:
+        self._at_barrier = False
+        self._schedule_step(0)
+
+    def _finish(self) -> None:
+        self.finished = True
+        self.finish_cycle = self.scheduler.now
+        self.stats.set("finish_cycle", self.finish_cycle)
+        self.stats.set("instructions", self.instructions)
+        if self.on_finished is not None:
+            self.on_finished(self)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mpki_denominator(self) -> float:
+        """Kilo-instructions executed so far."""
+        return max(self.instructions / 1000.0, 1e-9)

@@ -1,0 +1,51 @@
+"""Access-trace record types.
+
+A workload generator yields one iterable of records per core.  A record
+is either a :class:`MemAccess` or the :data:`BARRIER` sentinel, which
+makes the core wait until every core in the system has reached its own
+barrier (the ``#pragma omp barrier`` at the end of a parallel loop).
+
+``work`` expresses the compute gap — cycles of non-memory instructions
+executed after the previous access issues and before this one may issue.
+``insts`` is the instruction count this record represents (used for the
+MPKI denominators); it defaults to ``work + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Optional, Union
+
+
+class MemAccess(NamedTuple):
+    """One memory operation in a core's trace."""
+
+    addr: int
+    is_write: bool = False
+    work: int = 0
+    insts: int = 0
+    pc: int = 0
+
+    @property
+    def instructions(self) -> int:
+        """Instructions represented, defaulting to work + 1."""
+        return self.insts if self.insts > 0 else self.work + 1
+
+
+class _BarrierMarker:
+    """Singleton sentinel: synchronize all cores before continuing."""
+
+    _instance: Optional["_BarrierMarker"] = None
+
+    def __new__(cls) -> "_BarrierMarker":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BARRIER"
+
+
+BARRIER = _BarrierMarker()
+
+TraceRecord = Union[MemAccess, _BarrierMarker]
+Trace = Iterable[TraceRecord]

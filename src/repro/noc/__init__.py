@@ -1,0 +1,24 @@
+"""Cycle-level 2D-mesh network-on-chip substrate (Garnet-3.0 equivalent).
+
+The model is packet-granular with flit-accurate timing: a packet occupies
+one virtual channel per hop (virtual cut-through), output ports serialize
+packets at one flit per cycle, and router pipeline / link latencies match
+Table I of the paper (2-stage routers, 1-cycle links).
+"""
+
+from repro.noc.filter import InNetworkFilter, filter_area_overhead
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.routing import Direction, multicast_output_ports, route_compute
+from repro.noc.topology import Mesh
+
+__all__ = [
+    "Direction",
+    "InNetworkFilter",
+    "Mesh",
+    "Network",
+    "Packet",
+    "filter_area_overhead",
+    "multicast_output_ports",
+    "route_compute",
+]

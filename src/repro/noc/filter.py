@@ -1,0 +1,113 @@
+"""The coherent in-network filter (paper §III-C).
+
+Each router output port owns one filter.  When a push packet computes an
+output port, it registers ``(line address, destination set)`` there; read
+requests *arriving at the co-located input port* — which, under the
+XY-request / YX-push routing pair, is exactly where a request whose
+response is embedded in that push will appear — look the filter up and
+are dropped on a hit.  De-registration is lazy (after the replica's tail
+flit plus the link delay) so requests that were in flight on the link
+when the push departed are still caught.
+
+Capacity follows the paper's sizing: the pushed line lives in an input
+data VC while registered, so a filter never needs more entries than there
+are data VCs feeding the port.  The implementation enforces this bound
+and raises if it is ever exceeded (which would indicate a router bug).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class _FilterEntry:
+    __slots__ = ("uid", "line_addr", "dests")
+
+    def __init__(self, uid: int, line_addr: int,
+                 dests: Tuple[int, ...]) -> None:
+        self.uid = uid
+        self.line_addr = line_addr
+        self.dests = frozenset(dests)
+
+
+class InNetworkFilter:
+    """Filter state for one router output port."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("filter capacity must be >= 1")
+        self.capacity = capacity
+        self._by_addr: Dict[int, List[_FilterEntry]] = {}
+        self._count = 0
+
+    def register(self, uid: int, line_addr: int,
+                 dests: Tuple[int, ...]) -> None:
+        """Record an outstanding push replica heading out of this port."""
+        if self._count >= self.capacity:
+            raise SimulationError(
+                "in-network filter overflow: more registered pushes than "
+                "input data VCs — router accounting bug")
+        entry = _FilterEntry(uid, line_addr, dests)
+        self._by_addr.setdefault(line_addr, []).append(entry)
+        self._count += 1
+
+    def deregister(self, uid: int, line_addr: int) -> None:
+        """Remove the entry for a push that has fully left the port."""
+        entries = self._by_addr.get(line_addr)
+        if not entries:
+            return
+        for index, entry in enumerate(entries):
+            if entry.uid == uid:
+                del entries[index]
+                self._count -= 1
+                break
+        if not entries:
+            del self._by_addr[line_addr]
+
+    def matches(self, line_addr: int, requester: int) -> bool:
+        """True when a read request from ``requester`` is covered by an
+        outstanding push of the same line through this port."""
+        entries = self._by_addr.get(line_addr)
+        if not entries:
+            return False
+        return any(requester in entry.dests for entry in entries)
+
+    def has_line(self, line_addr: int) -> bool:
+        """True when any push of this line is registered (OrdPush stall)."""
+        return line_addr in self._by_addr
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def filter_area_overhead(ports: int = 5, data_vcs_per_port: int = 4,
+                         entry_bits: int = 64 + 16) -> Dict[str, float]:
+    """Analytical stand-in for the paper's RTL synthesis result.
+
+    The paper synthesizes the filter against an open-source router at
+    ASAP7 and reports a 16.3 % router-area overhead (8.8 % combinational,
+    1.5 % buffers, 6 % other non-combinational), with the router itself
+    being ~3 % of a tile.  Synthesis is outside this reproduction's
+    scope; this model exposes the storage count that drives the buffer
+    component and reports the paper's measured split so downstream
+    tooling has one authoritative source for the numbers.
+
+    Each output port holds one filter per *other* port, each with one
+    entry per input data VC of that port (§III-C): a 5-port, 4-data-VC
+    router carries 20 filters of 4 entries.
+    """
+    filters = ports * (ports - 1)
+    entries = filters * data_vcs_per_port
+    storage_bits = entries * entry_bits
+    return {
+        "filters": float(filters),
+        "entries_total": float(entries),
+        "storage_bits": float(storage_bits),
+        "router_area_overhead": 0.163,
+        "combinational_overhead": 0.088,
+        "buffer_overhead": 0.015,
+        "other_noncomb_overhead": 0.060,
+        "router_share_of_tile": 0.03,
+    }

@@ -1,0 +1,102 @@
+"""Network interfaces: tile-side injection and ejection endpoints.
+
+Each tile has one NI shared by its private L2, its LLC slice, and (on
+corner tiles) a memory controller.  Injection is serialized at one flit
+per cycle over the local link; ejection hands completed packets to the
+tile's message dispatcher (endpoints always sink — the standard
+consumption assumption; protocol-level blocking such as the push drop
+rule is modelled inside the cache controllers instead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.stats import StatGroup
+from repro.noc.packet import Packet
+from repro.noc.routing import Direction
+
+
+class NetworkInterface:
+    """Injection queues and ejection hook for one tile."""
+
+    def __init__(self, tile: int, network) -> None:
+        self.tile = tile
+        self.network = network
+        num_vnets = network.params.num_vnets
+        self._queues: tuple = tuple(deque() for _ in range(num_vnets))
+        self._rr_vnet = 0
+        self._busy_until = -1
+        self.eject_hook: Optional[Callable[[CoherenceMsg], None]] = None
+        self.stats = StatGroup(f"ni{tile}")
+
+    # -- injection ---------------------------------------------------------
+
+    def inject(self, msg: CoherenceMsg) -> None:
+        """Queue a message for injection (called by cache controllers)."""
+        flits = (self.network.params.data_packet_flits if msg.carries_data
+                 else self.network.params.control_packet_flits)
+        packet = Packet(msg, flits, injected_at=self.network.scheduler.now)
+        self._queues[msg.vnet].append(packet)
+        self.network.note_injected(packet)
+        self.network.mark_ni_active(self)
+
+    @property
+    def has_backlog(self) -> bool:
+        return any(self._queues)
+
+    def tick(self, cycle: int) -> bool:
+        """Try to start injecting one queued packet into the local port."""
+        if self._busy_until >= cycle or not self.has_backlog:
+            return False
+        router = self.network.routers[self.tile]
+        local = router.input_ports[Direction.LOCAL]
+        num_vnets = len(self._queues)
+        for step in range(num_vnets):
+            vnet = (self._rr_vnet + step) % num_vnets
+            queue: Deque[Packet] = self._queues[vnet]
+            if not queue:
+                continue
+            if (vnet == 2 and self.network.ordered_pushes
+                    and self._inv_blocked(queue[0])):
+                continue
+            vc = local.free_vc(vnet)
+            if vc is None:
+                continue
+            packet = queue.popleft()
+            vc.reserve()
+            self._busy_until = cycle + packet.flits - 1
+            self.stats.inc("flits_injected", packet.flits)
+            self.network.scheduler.at(
+                cycle + self.network.params.link_latency,
+                lambda p=packet, v=vc: router.accept(p, Direction.LOCAL, v))
+            self._rr_vnet = (vnet + 1) % num_vnets
+            return True
+        return False
+
+    def _inv_blocked(self, packet: Packet) -> bool:
+        """OrdPush's ordering rule applied at the injection point.
+
+        An invalidation must not enter the network while a same-line
+        push is still waiting in this interface's data queue, or it
+        could overtake the push before the push registers in any router
+        filter (the in-router stall of §III-F only covers registered
+        pushes).
+        """
+        if packet.msg.msg_type is not MsgType.INV:
+            return False
+        line = packet.line_addr
+        return any(queued.msg.msg_type is MsgType.PUSH
+                   and queued.line_addr == line
+                   for queued in self._queues[1])
+
+    # -- ejection ----------------------------------------------------------
+
+    def eject(self, packet: Packet) -> None:
+        """Deliver a fully-arrived packet to the tile dispatcher."""
+        self.stats.inc("flits_ejected", packet.flits)
+        if self.eject_hook is None:
+            return
+        self.eject_hook(packet.msg)

@@ -1,0 +1,193 @@
+"""Network top level: routers, links, interfaces, and global accounting.
+
+The network is cycle-driven but only *active* routers and interfaces are
+ticked, and the runner fast-forwards across cycles where nothing is in
+flight, which keeps low-load workloads (the PARSEC proxies) cheap.
+
+Push-multicast configuration enters here through two switches:
+
+* ``filter_enabled`` — the coherent in-network filter (§III-C);
+* ``ordered_pushes`` — OrdPush's push-before-invalidation stall (§III-F).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import SimulationError
+from repro.common.messages import CoherenceMsg, TrafficClass
+from repro.common.params import NoCParams
+from repro.common.scheduler import Scheduler
+from repro.common.stats import StatGroup
+from repro.noc.interface import NetworkInterface
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.noc.routing import Direction, OPPOSITE, RoutingTables
+from repro.noc.topology import Mesh
+from repro.noc.vc import VirtualChannel
+
+#: cycles without any packet movement (while packets exist) that we treat
+#: as a network deadlock — generous enough for worst-case backpressure.
+DEADLOCK_WATCHDOG_CYCLES = 200_000
+
+
+class Network:
+    """A mesh NoC instance bound to a scheduler."""
+
+    def __init__(self, params: NoCParams, scheduler: Scheduler,
+                 filter_enabled: bool = False,
+                 ordered_pushes: bool = False) -> None:
+        self.params = params
+        self.scheduler = scheduler
+        #: prune read requests covered by a registered push (§III-C)
+        self.filter_enabled = filter_enabled
+        #: stall INVs behind same-line pushes (OrdPush, §III-F).  Push
+        #: registration happens whenever either switch is on.
+        self.ordered_pushes = ordered_pushes
+        self.mesh = Mesh(params.rows, params.cols)
+        self.tables = RoutingTables(self.mesh)
+        self.routers: List[Router] = [
+            Router(tile, self) for tile in range(self.mesh.num_tiles)]
+        self.interfaces: List[NetworkInterface] = [
+            NetworkInterface(tile, self) for tile in range(self.mesh.num_tiles)]
+        self.stats = StatGroup("network")
+        self.link_load: Dict[Tuple[int, Direction], int] = {}
+        self.traffic_flits: Dict[TrafficClass, int] = {
+            cls: 0 for cls in TrafficClass}
+        self.request_filtered_hook: Optional[
+            Callable[[CoherenceMsg], None]] = None
+        self.inflight = 0
+        self._active_routers: set = set()
+        self._active_nis: set = set()
+        self._last_progress = 0
+
+    # ------------------------------------------------------------------
+    # endpoint API
+    # ------------------------------------------------------------------
+
+    def interface(self, tile: int) -> NetworkInterface:
+        return self.interfaces[tile]
+
+    def send(self, msg: CoherenceMsg) -> None:
+        """Inject a message at its source tile's interface."""
+        self.interfaces[msg.src].inject(msg)
+
+    # ------------------------------------------------------------------
+    # router support services
+    # ------------------------------------------------------------------
+
+    def try_reserve(self, router_id: int, direction: Direction,
+                    vnet: int) -> Union[VirtualChannel, None, bool]:
+        """Reserve a downstream VC for a grant.
+
+        Returns the reserved :class:`VirtualChannel`, ``None`` when the
+        hop is an ejection (always accepted), or ``False`` when no
+        downstream credit is available this cycle.
+        """
+        if direction is Direction.LOCAL:
+            return None
+        neighbor = self.mesh.neighbor(router_id, direction)
+        if neighbor is None:
+            raise SimulationError(
+                f"route leaves the mesh at router {router_id} {direction}")
+        in_port = self.routers[neighbor].input_ports[OPPOSITE[direction]]
+        vc = in_port.free_vc(vnet)
+        if vc is None:
+            return False
+        vc.reserve()
+        return vc
+
+    def dispatch(self, router_id: int, direction: Direction, branch: Packet,
+                 downstream_vc: Optional[VirtualChannel], cycle: int) -> None:
+        """Move a granted replica across the link (or eject it)."""
+        self._last_progress = cycle
+        link_latency = self.params.link_latency
+        if direction is Direction.LOCAL:
+            arrival = cycle + 1 + link_latency + branch.flits - 1
+            self.scheduler.at(
+                arrival, lambda: self._eject(router_id, branch))
+            return
+        neighbor = self.mesh.neighbor(router_id, direction)
+        target = self.routers[neighbor]
+        in_dir = OPPOSITE[direction]
+        self.scheduler.at(
+            cycle + 1 + link_latency,
+            lambda: target.accept(branch, in_dir, downstream_vc))
+
+    def record_link_load(self, router_id: int, direction: Direction,
+                         packet: Packet, flits: int) -> None:
+        key = (router_id, direction)
+        self.link_load[key] = self.link_load.get(key, 0) + flits
+        self.traffic_flits[packet.msg.traffic_class] += flits
+
+    def note_injected(self, packet: Packet) -> None:
+        self.inflight += len(packet.dests)
+        self.stats.inc("packets_injected")
+        self.stats.inc("flits_injected", packet.flits)
+
+    def note_filtered_request(self, packet: Packet) -> None:
+        """A GETS was pruned by the in-network filter."""
+        self.inflight -= 1
+        self.stats.inc("requests_filtered")
+        if self.request_filtered_hook is not None:
+            self.request_filtered_hook(packet.msg)
+
+    def mark_router_active(self, router: Router) -> None:
+        self._active_routers.add(router.id)
+
+    def mark_ni_active(self, ni: NetworkInterface) -> None:
+        self._active_nis.add(ni.tile)
+
+    def _eject(self, tile: int, packet: Packet) -> None:
+        self.inflight -= 1
+        self.stats.inc("packets_ejected")
+        latency = self.scheduler.now - packet.injected_at
+        self.stats.histogram("packet_latency", bucket_width=8).record(latency)
+        self.interfaces[tile].eject(packet)
+
+    # ------------------------------------------------------------------
+    # simulation loop
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while any packet is queued, buffered, or on a link."""
+        return self.inflight > 0
+
+    def tick(self, cycle: int) -> None:
+        """One cycle of injection and switch allocation everywhere."""
+        if self._active_nis:
+            for tile in sorted(self._active_nis):
+                ni = self.interfaces[tile]
+                ni.tick(cycle)
+                if not ni.has_backlog:
+                    self._active_nis.discard(tile)
+        if self._active_routers:
+            for router_id in sorted(self._active_routers):
+                router = self.routers[router_id]
+                if router.busy:
+                    router.tick(cycle)
+                else:
+                    self._active_routers.discard(router_id)
+        if (self.inflight > 0
+                and cycle - self._last_progress > DEADLOCK_WATCHDOG_CYCLES):
+            raise SimulationError(
+                f"network made no progress for {DEADLOCK_WATCHDOG_CYCLES} "
+                f"cycles with {self.inflight} deliveries outstanding")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def total_flits(self) -> int:
+        """Total flit-hops transmitted over all router output ports."""
+        return sum(self.link_load.values())
+
+    def traffic_breakdown(self) -> Dict[TrafficClass, int]:
+        """Flit-hops by traffic class (paper Figs. 3 and 13)."""
+        return dict(self.traffic_flits)
+
+    def link_load_matrix(self) -> Dict[Tuple[int, str], int]:
+        """Per-link flit counts keyed by (router, direction name) — Fig 14."""
+        return {(router, direction.name.lower()): flits
+                for (router, direction), flits in self.link_load.items()}

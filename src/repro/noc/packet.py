@@ -1,0 +1,68 @@
+"""Network packets: the unit the routers move around.
+
+A packet wraps one :class:`~repro.common.messages.CoherenceMsg`.  Control
+messages are single-flit; data messages carry a 64-byte line and occupy
+``NoCParams.data_packet_flits`` flits (5 at 128-bit links).  Multicast
+packets (pushes and coalesced responses) list several destinations; when
+a router replicates one, each replica shares the underlying message but
+owns its destination subset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from repro.common.messages import CoherenceMsg
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One packet instance travelling through the network.
+
+    Attributes mutated by the routers are kept here rather than on the
+    message so a multicast replica has independent routing state.
+    """
+
+    __slots__ = ("msg", "dests", "flits", "injected_at", "pid",
+                 "arrival_cycle", "output_ports", "pending_ports")
+
+    def __init__(self, msg: CoherenceMsg, flits: int,
+                 dests: Optional[Tuple[int, ...]] = None,
+                 injected_at: int = 0) -> None:
+        self.msg = msg
+        self.dests: Tuple[int, ...] = dests if dests is not None else msg.dests
+        self.flits = flits
+        self.injected_at = injected_at
+        self.pid = next(_packet_ids)
+        #: cycle this packet finished buffer-write at the current router
+        self.arrival_cycle = injected_at
+        #: route-compute result at the current router: {Direction: dests}
+        self.output_ports = None
+        #: output ports not yet granted (asynchronous multicast residue)
+        self.pending_ports = None
+
+    @property
+    def vnet(self) -> int:
+        return self.msg.vnet
+
+    @property
+    def line_addr(self) -> int:
+        return self.msg.line_addr
+
+    @property
+    def is_multicast(self) -> bool:
+        return len(self.dests) > 1
+
+    def replica(self, dests: Tuple[int, ...]) -> "Packet":
+        """A copy of this packet carrying a destination subset."""
+        twin = Packet(self.msg, self.flits, dests=dests,
+                      injected_at=self.injected_at)
+        return twin
+
+    def __repr__(self) -> str:
+        dests = ",".join(map(str, self.dests))
+        return (f"Packet(pid={self.pid}, {self.msg.msg_type.name}, "
+                f"line=0x{self.line_addr:x}, dests=[{dests}], "
+                f"flits={self.flits})")

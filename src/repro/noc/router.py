@@ -1,0 +1,241 @@
+"""The 2-stage pipelined mesh router with push-multicast extensions.
+
+Pipeline (paper Fig. 7a): a packet performs buffer-write and route
+compute in the cycle it arrives, and becomes eligible for switch
+allocation the next cycle.  Once granted, its flits stream out at one
+per cycle (the output port stays busy for the packet length) and the
+head reaches the next router after the link latency — virtual
+cut-through timing.
+
+Push-multicast extensions hook into the same two stages:
+
+* arrival of a PUSH head — *filter registration* on every computed
+  output port, plus *stationary filtering* / *filtering at port* of
+  same-line read requests already buffered (or arriving) at the
+  co-located input ports;
+* arrival of a GETS — *filter lookup* against the input port's
+  associated filter; on a hit the request is dropped and its VC freed;
+* a granted PUSH replica *de-registers lazily*, one link delay after its
+  tail leaves, so requests in flight on the link are still caught;
+* under OrdPush, an INV packet is stalled while the filter of its output
+  port holds a same-line push (the ordering rule of §III-F).
+
+Multicasts are asynchronous (§III-E): the packet rests in its input VC
+and competes independently for each computed output port; replicas leave
+as ports and downstream credits become available.
+
+Implementation note: ports are stored in lists indexed by the
+:class:`~repro.noc.routing.Direction` IntEnum, and switch allocation
+iterates the (few) occupied VCs rather than all port/VC pairs — both
+matter for Python-level simulation speed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.messages import MsgType
+from repro.common.stats import StatGroup
+from repro.noc.filter import InNetworkFilter
+from repro.noc.packet import Packet
+from repro.noc.routing import Direction, NUM_PORTS
+from repro.noc.vc import InputPort, VirtualChannel
+
+
+class OutputPort:
+    """One router output port: switch/link occupancy plus its filter."""
+
+    __slots__ = ("direction", "busy_until", "filter", "flits_tx",
+                 "packets_tx")
+
+    def __init__(self, direction: Direction, filter_capacity: int) -> None:
+        self.direction = direction
+        self.busy_until = -1
+        self.filter = InNetworkFilter(filter_capacity)
+        self.flits_tx = 0
+        self.packets_tx = 0
+
+
+class Router:
+    """One mesh router.  The owning Network wires ports and timing."""
+
+    def __init__(self, router_id: int, network) -> None:
+        self.id = router_id
+        self.network = network
+        params = network.params
+        # One entry per input data VC that can route to the port.  The
+        # paper sizes 4 source ports x data VCs (no u-turns between mesh
+        # ports); the LOCAL output additionally accepts same-tile pushes
+        # from the LOCAL input (LLC slice -> co-located L2), so 5 covers
+        # every port.
+        filter_capacity = NUM_PORTS * params.vcs_per_vnet
+        directions = self._port_directions()
+        self.input_ports: List[Optional[InputPort]] = [None] * NUM_PORTS
+        self.output_ports: List[Optional[OutputPort]] = [None] * NUM_PORTS
+        for direction in directions:
+            self.input_ports[direction] = InputPort(
+                params.num_vnets, params.vcs_per_vnet)
+            self.output_ports[direction] = OutputPort(
+                direction, filter_capacity)
+        #: (vc, input_direction) pairs currently holding a packet
+        self._occupied: List[Tuple[VirtualChannel, Direction]] = []
+        self._rr_offset = 0
+        self.stats = StatGroup(f"router{router_id}")
+
+    def _port_directions(self) -> List[Direction]:
+        directions = [Direction.LOCAL]
+        directions.extend(self.network.mesh.neighbors(self.id))
+        return directions
+
+    # ------------------------------------------------------------------
+    # arrival path: buffer write, route compute, filter actions
+    # ------------------------------------------------------------------
+
+    def accept(self, packet: Packet, in_dir: Direction,
+               vc: VirtualChannel) -> None:
+        """Install an arriving packet (head flit) into its reserved VC."""
+        net = self.network
+        packet.arrival_cycle = net.scheduler.now
+        ports = net.tables.output_ports(packet.vnet, self.id, packet.dests)
+        packet.output_ports = ports
+        packet.pending_ports = dict(ports)
+
+        msg_type = packet.msg.msg_type
+        if net.filter_enabled and msg_type is MsgType.GETS:
+            if self._filter_lookup(packet, in_dir):
+                vc.cancel_reservation()
+                net.note_filtered_request(packet)
+                self.stats.inc("requests_filtered")
+                return
+
+        vc.fill(packet)
+        self._occupied.append((vc, in_dir))
+        net.mark_router_active(self)
+
+        if ((net.filter_enabled or net.ordered_pushes)
+                and msg_type is MsgType.PUSH):
+            self._register_push(packet, ports)
+
+    def _filter_lookup(self, packet: Packet, in_dir: Direction) -> bool:
+        """Filter Lookup stage: check the input port's associated filter."""
+        out = self.output_ports[in_dir]
+        if out is None:
+            return False
+        return out.filter.matches(packet.line_addr, packet.msg.src)
+
+    def _register_push(self, packet: Packet, ports) -> None:
+        """Filter Registration plus Stationary Filtering / Filtering at Port."""
+        prune = self.network.filter_enabled
+        for direction, dests in ports.items():
+            self.output_ports[direction].filter.register(
+                packet.pid, packet.line_addr, dests)
+            self.stats.inc("filter_registrations")
+            if prune:
+                self._stationary_filter(direction, packet.line_addr, dests)
+
+    def _stationary_filter(self, direction: Direction, line_addr: int,
+                           dests: Tuple[int, ...]) -> None:
+        """Drop same-line GETS already buffered at the co-located input."""
+        in_port = self.input_ports[direction]
+        if in_port is None:
+            return
+        dest_set = set(dests)
+        for vc in in_port.occupied_in_vnet(0):
+            request = vc.packet
+            if (request.msg.msg_type is MsgType.GETS
+                    and request.line_addr == line_addr
+                    and request.msg.src in dest_set):
+                vc.release()
+                self._forget(vc)
+                self.network.note_filtered_request(request)
+                self.stats.inc("requests_filtered_stationary")
+
+    def _forget(self, vc: VirtualChannel) -> None:
+        for index, (occupied_vc, _) in enumerate(self._occupied):
+            if occupied_vc is vc:
+                del self._occupied[index]
+                return
+
+    # ------------------------------------------------------------------
+    # switch allocation and transmission
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._occupied)
+
+    def tick(self, cycle: int) -> bool:
+        """One switch-allocation round.  Returns True on any grant.
+
+        Iterates the occupied VCs (rotated for round-robin fairness) and
+        lets each packet bid for its pending output ports; a port serves
+        one grant per cycle and stays busy for the packet's length.
+        """
+        occupied = self._occupied
+        count = len(occupied)
+        if count == 0:
+            return False
+        progressed = False
+        granted_ports = 0  # bitmask of ports granted this cycle
+        ordpush = self.network.ordered_pushes
+        self._rr_offset = (self._rr_offset + 1) % count
+        # Snapshot: grants may retire VCs from the occupied list.
+        candidates = (occupied[self._rr_offset:]
+                      + occupied[:self._rr_offset])
+        outputs = self.output_ports
+        for vc, _in_dir in candidates:
+            packet = vc.packet
+            if packet is None or packet.arrival_cycle + 1 > cycle:
+                continue  # still in the buffer-write / route-compute stage
+            for direction in list(packet.pending_ports):
+                out = outputs[direction]
+                bit = 1 << direction
+                if granted_ports & bit or out.busy_until >= cycle:
+                    continue
+                if (ordpush and packet.msg.msg_type is MsgType.INV
+                        and out.filter.has_line(packet.line_addr)):
+                    self.stats.inc("inv_stalled_behind_push")
+                    continue
+                downstream_vc = self.network.try_reserve(
+                    self.id, direction, packet.vnet)
+                if downstream_vc is False:
+                    continue  # no downstream credit this cycle
+                granted_ports |= bit
+                self._transmit(vc, downstream_vc, out, cycle)
+                progressed = True
+        return progressed
+
+    def _transmit(self, vc: VirtualChannel,
+                  downstream_vc: Optional[VirtualChannel],
+                  out: OutputPort, cycle: int) -> None:
+        """Send the replica for ``out`` and retire the VC when done."""
+        packet = vc.packet
+        dests = packet.pending_ports.pop(out.direction)
+        branch = packet.replica(dests)
+        flits = packet.flits
+        out.busy_until = cycle + flits - 1
+        out.flits_tx += flits
+        out.packets_tx += 1
+        net = self.network
+        net.record_link_load(self.id, out.direction, packet, flits)
+
+        if ((net.filter_enabled or net.ordered_pushes)
+                and packet.msg.msg_type is MsgType.PUSH):
+            pid, line = packet.pid, packet.line_addr
+            lazy = cycle + flits - 1 + net.params.link_latency
+            net.scheduler.at(
+                lazy, lambda: out.filter.deregister(pid, line))
+
+        net.dispatch(self.id, out.direction, branch, downstream_vc, cycle)
+
+        if not packet.pending_ports:
+            # The buffer is still being read until the tail flit leaves;
+            # free the VC (and its credit) only then.
+            self._forget(vc)
+            if flits == 1:
+                vc.release()
+            else:
+                net.scheduler.at(cycle + flits - 1, vc.release)
+
+    def __repr__(self) -> str:
+        return f"Router(id={self.id}, occupied={len(self._occupied)})"

@@ -1,0 +1,141 @@
+"""Deterministic dimension-ordered routing (XY and YX) and multicast splits.
+
+The paper routes requests XY and everything else (responses, pushes,
+invalidations) YX, so that a push retraces the reverse path of the read
+requests it may filter (§III-C) and so that OrdPush's push-before-
+invalidation ordering holds on a common path (§III-F).
+
+``RoutingTables`` precomputes the per-hop decision for every
+(current, destination) pair of a mesh — the routers index it directly,
+keeping route computation off the simulation's hot path.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, List, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class Direction(IntEnum):
+    """Router port directions.  LOCAL is the tile's network interface."""
+
+    LOCAL = 0
+    NORTH = 1
+    SOUTH = 2
+    EAST = 3
+    WEST = 4
+
+
+ALL_DIRECTIONS = (Direction.LOCAL, Direction.NORTH, Direction.SOUTH,
+                  Direction.EAST, Direction.WEST)
+NUM_PORTS = len(ALL_DIRECTIONS)
+
+OPPOSITE = (Direction.LOCAL, Direction.SOUTH, Direction.NORTH,
+            Direction.WEST, Direction.EAST)
+
+#: vnet -> routing discipline.  Requests (vnet 0) go XY; data/pushes
+#: (vnet 1) and control/invalidations (vnet 2) go YX.
+VNET_ROUTING = {0: "xy", 1: "yx", 2: "yx"}
+
+
+def xy_route(cur_row: int, cur_col: int, dst_row: int,
+             dst_col: int) -> Direction:
+    """Next hop under XY routing (X dimension first)."""
+    if dst_col > cur_col:
+        return Direction.EAST
+    if dst_col < cur_col:
+        return Direction.WEST
+    if dst_row > cur_row:
+        return Direction.SOUTH
+    if dst_row < cur_row:
+        return Direction.NORTH
+    return Direction.LOCAL
+
+
+def yx_route(cur_row: int, cur_col: int, dst_row: int,
+             dst_col: int) -> Direction:
+    """Next hop under YX routing (Y dimension first)."""
+    if dst_row > cur_row:
+        return Direction.SOUTH
+    if dst_row < cur_row:
+        return Direction.NORTH
+    if dst_col > cur_col:
+        return Direction.EAST
+    if dst_col < cur_col:
+        return Direction.WEST
+    return Direction.LOCAL
+
+
+class RoutingTables:
+    """Precomputed next-hop tables for one mesh.
+
+    ``next_hop(vnet, cur, dest)`` is a pair of list indexings; the
+    tables are shared by every router of a network instance.
+    """
+
+    def __init__(self, mesh) -> None:
+        tiles = mesh.num_tiles
+        self.xy: List[List[Direction]] = []
+        self.yx: List[List[Direction]] = []
+        for cur in range(tiles):
+            cur_row, cur_col = mesh.coords(cur)
+            xy_row = []
+            yx_row = []
+            for dest in range(tiles):
+                dst_row, dst_col = mesh.coords(dest)
+                xy_row.append(xy_route(cur_row, cur_col, dst_row, dst_col))
+                yx_row.append(yx_route(cur_row, cur_col, dst_row, dst_col))
+            self.xy.append(xy_row)
+            self.yx.append(yx_row)
+        #: vnet index -> table (requests XY, everything else YX)
+        self.by_vnet = (self.xy, self.yx, self.yx)
+
+    def next_hop(self, vnet: int, cur: int, dest: int) -> Direction:
+        return self.by_vnet[vnet][cur][dest]
+
+    def output_ports(self, vnet: int, cur: int,
+                     dests: Tuple[int, ...]
+                     ) -> Dict[Direction, Tuple[int, ...]]:
+        """Group a (possibly multicast) packet's dests by output port."""
+        table = self.by_vnet[vnet][cur]
+        if len(dests) == 1:
+            return {table[dests[0]]: dests}
+        groups: Dict[Direction, list] = {}
+        for dest in dests:
+            port = table[dest]
+            bucket = groups.get(port)
+            if bucket is None:
+                groups[port] = [dest]
+            else:
+                bucket.append(dest)
+        return {port: tuple(bucket) for port, bucket in groups.items()}
+
+
+def route_compute(mesh, cur: int, dest: int, vnet: int) -> Direction:
+    """Output port for a unicast packet at tile ``cur`` heading to
+    ``dest`` (convenience wrapper; hot paths use :class:`RoutingTables`)."""
+    cur_row, cur_col = mesh.coords(cur)
+    dst_row, dst_col = mesh.coords(dest)
+    discipline = VNET_ROUTING.get(vnet)
+    if discipline == "xy":
+        return xy_route(cur_row, cur_col, dst_row, dst_col)
+    if discipline == "yx":
+        return yx_route(cur_row, cur_col, dst_row, dst_col)
+    raise SimulationError(f"no routing discipline for vnet {vnet}")
+
+
+def multicast_output_ports(
+        mesh, cur: int, dests: Tuple[int, ...],
+        vnet: int) -> Dict[Direction, Tuple[int, ...]]:
+    """Group a multicast packet's destinations by output port.
+
+    The asynchronous multicast scheme (§III-E) sends one replica per
+    output port, each carrying the destination subset for that branch.
+    """
+    groups: Dict[Direction, list] = {}
+    for dest in dests:
+        port = route_compute(mesh, cur, dest, vnet)
+        groups.setdefault(port, []).append(dest)
+    return {port: tuple(sorted(group)) for port, group in groups.items()}

@@ -1,0 +1,76 @@
+"""2D mesh topology: tile coordinates and neighbour relations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.noc.routing import Direction
+
+
+class Mesh:
+    """A ``rows`` x ``cols`` mesh of tiles.
+
+    Tile ids are assigned row-major: tile ``r * cols + c`` sits at
+    coordinate ``(r, c)``.  Memory controllers attach at the four corner
+    tiles (Table I), or at tile 0 for meshes smaller than 2x2.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigError("mesh must be at least 1x1")
+        self.rows = rows
+        self.cols = cols
+        self.num_tiles = rows * cols
+        self._neighbors: List[Dict[Direction, int]] = [
+            self._compute_neighbors(tile) for tile in range(self.num_tiles)
+        ]
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """(row, col) of a tile id."""
+        return divmod(tile, self.cols)
+
+    def tile_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigError(f"coordinate ({row}, {col}) outside mesh")
+        return row * self.cols + col
+
+    def neighbor(self, tile: int, direction: Direction) -> Optional[int]:
+        """Neighbouring tile in a direction, or None at the mesh edge."""
+        return self._neighbors[tile].get(direction)
+
+    def neighbors(self, tile: int) -> Dict[Direction, int]:
+        """All (direction -> neighbour tile) pairs for a tile."""
+        return dict(self._neighbors[tile])
+
+    def _compute_neighbors(self, tile: int) -> Dict[Direction, int]:
+        row, col = self.coords(tile)
+        result: Dict[Direction, int] = {}
+        if row > 0:
+            result[Direction.NORTH] = self.tile_at(row - 1, col)
+        if row < self.rows - 1:
+            result[Direction.SOUTH] = self.tile_at(row + 1, col)
+        if col > 0:
+            result[Direction.WEST] = self.tile_at(row, col - 1)
+        if col < self.cols - 1:
+            result[Direction.EAST] = self.tile_at(row, col + 1)
+        return result
+
+    def memory_controller_tiles(self) -> Tuple[int, ...]:
+        """Tiles hosting memory controllers: the four corners."""
+        corners = {
+            self.tile_at(0, 0),
+            self.tile_at(0, self.cols - 1),
+            self.tile_at(self.rows - 1, 0),
+            self.tile_at(self.rows - 1, self.cols - 1),
+        }
+        return tuple(sorted(corners))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Manhattan distance between two tiles."""
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def __repr__(self) -> str:
+        return f"Mesh({self.rows}x{self.cols})"

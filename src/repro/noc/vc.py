@@ -1,0 +1,85 @@
+"""Virtual channels and per-port buffer state.
+
+With virtual cut-through flow control and Table I's buffer sizing (a VC
+holds a whole data packet), each virtual channel holds at most one packet
+at a time.  Credits therefore reduce to "is a VC of this vnet free at the
+downstream input port", which the upstream router checks (and reserves)
+before transmitting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.noc.packet import Packet
+
+
+class VirtualChannel:
+    """One input virtual channel: holds at most one in-flight packet."""
+
+    __slots__ = ("vnet", "index", "packet", "reserved")
+
+    def __init__(self, vnet: int, index: int) -> None:
+        self.vnet = vnet
+        self.index = index
+        self.packet: Optional[Packet] = None
+        self.reserved = False
+
+    @property
+    def free(self) -> bool:
+        return self.packet is None and not self.reserved
+
+    def reserve(self) -> None:
+        if not self.free:
+            raise SimulationError("reserving a busy virtual channel")
+        self.reserved = True
+
+    def cancel_reservation(self) -> None:
+        """Give back a reservation without filling (filtered requests)."""
+        if self.packet is not None:
+            raise SimulationError("cancelling a filled virtual channel")
+        self.reserved = False
+
+    def fill(self, packet: Packet) -> None:
+        if self.packet is not None:
+            raise SimulationError("filling an occupied virtual channel")
+        self.packet = packet
+        self.reserved = False
+
+    def release(self) -> Packet:
+        if self.packet is None:
+            raise SimulationError("releasing an empty virtual channel")
+        packet, self.packet = self.packet, None
+        return packet
+
+
+class InputPort:
+    """All virtual channels of one router input port, grouped by vnet."""
+
+    __slots__ = ("vcs",)
+
+    def __init__(self, num_vnets: int, vcs_per_vnet: int) -> None:
+        self.vcs: List[List[VirtualChannel]] = [
+            [VirtualChannel(vnet, i) for i in range(vcs_per_vnet)]
+            for vnet in range(num_vnets)
+        ]
+
+    def free_vc(self, vnet: int) -> Optional[VirtualChannel]:
+        """A free VC in the given vnet, or None when all are busy."""
+        for vc in self.vcs[vnet]:
+            if vc.free:
+                return vc
+        return None
+
+    def occupied(self) -> List[VirtualChannel]:
+        """All VCs currently holding a packet."""
+        return [vc for group in self.vcs for vc in group
+                if vc.packet is not None]
+
+    def occupied_in_vnet(self, vnet: int) -> List[VirtualChannel]:
+        return [vc for vc in self.vcs[vnet] if vc.packet is not None]
+
+    @property
+    def empty(self) -> bool:
+        return all(vc.packet is None for group in self.vcs for vc in group)

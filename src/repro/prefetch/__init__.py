@@ -1,0 +1,7 @@
+"""Hardware prefetchers used by the L1Bingo-L2Stride baseline."""
+
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.unit import PrefetchUnit
+
+__all__ = ["BingoPrefetcher", "PrefetchUnit", "StridePrefetcher"]

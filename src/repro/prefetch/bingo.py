@@ -1,0 +1,77 @@
+"""Bingo-style spatial-region prefetcher (the paper's L1D baseline [4]).
+
+Bingo records the footprint of lines touched inside a spatial region
+(2 KiB in Table I) and replays it the next time the same trigger event —
+(pc, offset-in-region) — opens a fresh region.  This captures the
+re-visited spatial patterns that dominate the paper's regular workloads
+without modelling Bingo's full multi-feature matching hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Set, Tuple
+
+from repro.common.params import LINE_BYTES
+
+
+class BingoPrefetcher:
+    """Footprint-replay spatial prefetcher for one L1D."""
+
+    def __init__(self, region_bytes: int = 2048,
+                 pht_entries: int = 256) -> None:
+        if region_bytes % LINE_BYTES != 0:
+            raise ValueError("region must be a multiple of the line size")
+        self.lines_per_region = region_bytes // LINE_BYTES
+        self.pht_capacity = pht_entries
+        #: pattern history: (pc, trigger_offset) -> footprint bit set
+        self._pht: "OrderedDict[Tuple[int, int], Set[int]]" = OrderedDict()
+        #: open regions being recorded: region -> (trigger key, footprint)
+        self._open: Dict[int, Tuple[Tuple[int, int], Set[int]]] = {}
+        self._open_order: List[int] = []
+        self.max_open_regions = 64
+        self.issued = 0
+
+    def _region_of(self, line_addr: int) -> int:
+        return line_addr // self.lines_per_region
+
+    def observe(self, line_addr: int, pc: int) -> List[int]:
+        """Train on a demand access; returns lines to prefetch."""
+        region = self._region_of(line_addr)
+        offset = line_addr % self.lines_per_region
+        record = self._open.get(region)
+        if record is not None:
+            record[1].add(offset)
+            return []
+        # A new region opens: commit the oldest if we are out of space,
+        # then look the trigger up in the pattern history table.
+        trigger = (pc, offset)
+        self._open[region] = (trigger, {offset})
+        self._open_order.append(region)
+        if len(self._open_order) > self.max_open_regions:
+            self._commit(self._open_order.pop(0))
+        footprint = self._pht.get(trigger)
+        if footprint is None:
+            return []
+        self._pht.move_to_end(trigger)
+        base = region * self.lines_per_region
+        prefetches = [base + off for off in sorted(footprint)
+                      if off != offset]
+        self.issued += len(prefetches)
+        return prefetches
+
+    def _commit(self, region: int) -> None:
+        record = self._open.pop(region, None)
+        if record is None:
+            return
+        trigger, footprint = record
+        self._pht[trigger] = set(footprint)
+        self._pht.move_to_end(trigger)
+        if len(self._pht) > self.pht_capacity:
+            self._pht.popitem(last=False)
+
+    def flush(self) -> None:
+        """Commit every open region (end of a program phase)."""
+        for region in list(self._open_order):
+            self._commit(region)
+        self._open_order.clear()

@@ -1,0 +1,61 @@
+"""Stream/stride prefetcher (the paper's L2 prefetcher baseline).
+
+Table I: 16 streams, 4 prefetches per stream.  Streams are allocated per
+(pc, region) trigger; a stream that observes the same line-address delta
+twice in a row is confirmed and issues ``degree`` prefetches ahead of
+the demand stream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+
+class _Stream:
+    __slots__ = ("last_line", "delta", "confirmed")
+
+    def __init__(self, line_addr: int) -> None:
+        self.last_line = line_addr
+        self.delta: Optional[int] = None
+        self.confirmed = False
+
+
+class StridePrefetcher:
+    """Per-cache stride detector; returns line addresses to prefetch."""
+
+    def __init__(self, streams: int = 16, degree: int = 4) -> None:
+        if streams < 1 or degree < 1:
+            raise ValueError("streams and degree must be >= 1")
+        self.max_streams = streams
+        self.degree = degree
+        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
+        self.issued = 0
+
+    def observe(self, line_addr: int, pc: int) -> List[int]:
+        """Train on a demand access; returns lines to prefetch."""
+        stream = self._streams.get(pc)
+        if stream is None:
+            stream = _Stream(line_addr)
+            self._streams[pc] = stream
+            self._streams.move_to_end(pc)
+            if len(self._streams) > self.max_streams:
+                self._streams.popitem(last=False)
+            return []
+        self._streams.move_to_end(pc)
+        delta = line_addr - stream.last_line
+        if delta == 0:
+            return []
+        if stream.delta == delta:
+            stream.confirmed = True
+        else:
+            stream.confirmed = False
+        stream.delta = delta
+        stream.last_line = line_addr
+        if not stream.confirmed:
+            return []
+        prefetches = [line_addr + delta * (i + 1)
+                      for i in range(self.degree)]
+        prefetches = [line for line in prefetches if line >= 0]
+        self.issued += len(prefetches)
+        return prefetches

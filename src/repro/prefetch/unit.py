@@ -1,0 +1,54 @@
+"""The per-tile prefetch unit wiring Bingo + Stride into the cache.
+
+The unit owns one Bingo instance (L1D prefetcher) and one stride
+instance (L2 prefetcher), observes every demand access, and issues the
+predicted lines into the private cache as prefetch reads.  A small
+in-flight window keeps one burst from flooding the MSHRs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.addr import byte_of, line_of
+from repro.common.params import PrefetchParams
+from repro.common.stats import StatGroup
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+#: at most this many prefetches issued per observed demand access
+_MAX_ISSUE_PER_ACCESS = 8
+
+
+class PrefetchUnit:
+    """L1 Bingo + L2 stride prefetch pair for one tile."""
+
+    def __init__(self, params: PrefetchParams,
+                 issue: Callable[[int], None],
+                 stats: Optional[StatGroup] = None) -> None:
+        self.params = params
+        self._issue = issue
+        self.bingo = BingoPrefetcher(params.bingo_region_bytes,
+                                     params.bingo_pht_entries)
+        self.stride = StridePrefetcher(params.stride_streams,
+                                       params.stride_degree)
+        self.stats = stats if stats is not None else StatGroup("prefetch")
+
+    def observe(self, byte_addr: int, pc: int, is_write: bool) -> None:
+        """Train both prefetchers on a demand access and issue."""
+        if not self.params.enabled or is_write:
+            return
+        line_addr = line_of(byte_addr)
+        candidates = self.bingo.observe(line_addr, pc)
+        candidates += self.stride.observe(line_addr, pc)
+        issued = 0
+        seen = set()
+        for line in candidates:
+            if line in seen or line == line_addr:
+                continue
+            seen.add(line)
+            self._issue(byte_of(line))
+            self.stats.inc("prefetches_issued")
+            issued += 1
+            if issued >= _MAX_ISSUE_PER_ACCESS:
+                break

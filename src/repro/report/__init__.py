@@ -1,0 +1,19 @@
+"""Reporting utilities: text tables, ASCII charts, CSV export.
+
+The experiment harnesses render their paper-figure rows through this
+package, and downstream users can export :class:`~repro.sim.results
+.SimResult` collections to CSV for external plotting.
+"""
+
+from repro.report.charts import bar_chart, sparkline
+from repro.report.export import results_to_csv, write_results_csv
+from repro.report.tables import format_table, normalize_table
+
+__all__ = [
+    "bar_chart",
+    "format_table",
+    "normalize_table",
+    "results_to_csv",
+    "sparkline",
+    "write_results_csv",
+]

@@ -1,0 +1,47 @@
+"""ASCII chart primitives for terminal experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(values: Dict[str, float], width: int = 40,
+              reference: float = None, unit: str = "") -> str:
+    """Horizontal bar chart; an optional reference draws a marker.
+
+    >>> print(bar_chart({"a": 1.0, "b": 2.0}, width=10))  # doctest: +SKIP
+    """
+    if not values:
+        return "(no data)"
+    label_width = max(len(label) for label in values)
+    peak = max(max(values.values()), reference or 0.0, 1e-12)
+    lines: List[str] = []
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        bar = "#" * filled
+        if reference is not None:
+            marker = int(round(width * reference / peak))
+            if 0 <= marker < width:
+                padded = list(bar.ljust(width))
+                padded[marker] = "|"
+                bar = "".join(padded).rstrip()
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)} "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """A one-line unicode sparkline for a numeric series."""
+    if not series:
+        return ""
+    low = min(series)
+    high = max(series)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[4] * len(series)
+    steps = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[int(round((value - low) / span * steps))]
+        for value in series)

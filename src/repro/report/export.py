@@ -1,0 +1,53 @@
+"""CSV export of simulation result collections."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List
+
+from repro.sim.results import PUSH_CATEGORIES, SimResult
+
+_SCALAR_COLUMNS = (
+    "workload", "config", "num_cores", "cycles", "instructions",
+    "l2_demand_accesses", "l2_demand_misses", "requests_filtered",
+    "pushes_triggered", "mean_push_degree",
+)
+_DERIVED_COLUMNS = ("l2_mpki", "l2_miss_rate", "total_flits",
+                    "injection_load", "push_accuracy")
+
+
+def _row(result: SimResult) -> List:
+    row = [getattr(result, name) for name in _SCALAR_COLUMNS]
+    row += [result.l2_mpki, result.l2_miss_rate, result.total_flits,
+            result.injection_load, result.push_accuracy()]
+    row += [result.traffic.get(name, 0) for name in sorted(result.traffic)]
+    row += [result.push_usage.get(name, 0) for name in PUSH_CATEGORIES]
+    return row
+
+
+def _header(sample: SimResult) -> List[str]:
+    header = list(_SCALAR_COLUMNS) + list(_DERIVED_COLUMNS)
+    header += [f"traffic_{name.lower()}" for name in sorted(sample.traffic)]
+    header += list(PUSH_CATEGORIES)
+    return header
+
+
+def results_to_csv(results: Iterable[SimResult]) -> str:
+    """Render results as CSV text (one row per result)."""
+    results = list(results)
+    if not results:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_header(results[0]))
+    for result in results:
+        writer.writerow(_row(result))
+    return buffer.getvalue()
+
+
+def write_results_csv(results: Iterable[SimResult], path) -> None:
+    """Write a result collection to a CSV file."""
+    text = results_to_csv(results)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)

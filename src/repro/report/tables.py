@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sim.results import SimResult
+
+
+def format_table(header: Sequence, rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    names = [str(cell) for cell in header]
+    widths = [len(name) for name in names]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(f"=== {title} ===")
+    head = "  ".join(name.ljust(width)
+                     for name, width in zip(names, widths))
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def normalize_table(results: Dict[str, Dict[str, SimResult]],
+                    baseline: str = "baseline",
+                    metric: str = "speedup") -> Dict[str, Dict[str, float]]:
+    """Normalize a {workload: {config: result}} grid to its baseline.
+
+    ``metric`` selects ``speedup`` (execution-time ratio) or
+    ``traffic`` (total-flit ratio).
+    """
+    if metric not in ("speedup", "traffic"):
+        raise ValueError("metric must be 'speedup' or 'traffic'")
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, by_config in results.items():
+        reference = by_config[baseline]
+        row = {}
+        for config, result in by_config.items():
+            if metric == "speedup":
+                row[config] = result.speedup_over(reference)
+            else:
+                row[config] = result.traffic_vs(reference)
+        table[workload] = row
+    return table

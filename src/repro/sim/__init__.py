@@ -1,0 +1,16 @@
+"""System integration: wiring, named configurations, run harness."""
+
+from repro.sim.config import ABLATION_STEPS, CONFIG_NAMES, make_params
+from repro.sim.results import SimResult
+from repro.sim.runner import run_system, run_workload
+from repro.sim.system import System
+
+__all__ = [
+    "ABLATION_STEPS",
+    "CONFIG_NAMES",
+    "SimResult",
+    "System",
+    "make_params",
+    "run_system",
+    "run_workload",
+]

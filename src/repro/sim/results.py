@@ -1,0 +1,201 @@
+"""Result records produced by a simulation run.
+
+A :class:`SimResult` snapshots everything the paper's figures need from
+one run: execution time, MPKI, NoC traffic by class, endpoint bandwidth
+breakdowns, push-usage accounting, and per-link loads.  Normalization
+helpers express results relative to a baseline run, mirroring how every
+figure in the paper is normalized to L1Bingo-L2Stride.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.common.messages import TrafficClass
+
+PUSH_CATEGORIES = (
+    "push_deadlock_drop", "push_redundancy_drop", "push_coherence_drop",
+    "push_unused", "push_miss_to_hit", "push_early_resp",
+)
+
+
+@dataclass
+class SimResult:
+    """Aggregated statistics from one simulation run."""
+
+    config: str
+    workload: str
+    num_cores: int
+    cycles: int
+    instructions: int
+    l2_demand_accesses: int
+    l2_demand_misses: int
+    traffic: Dict[str, int]
+    l2_inject: Dict[str, int]
+    l2_eject: Dict[str, int]
+    llc_inject: Dict[str, int]
+    llc_eject: Dict[str, int]
+    push_usage: Dict[str, int]
+    link_load: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    requests_filtered: int = 0
+    pushes_triggered: int = 0
+    mean_push_degree: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def l2_mpki(self) -> float:
+        """Private-L2 demand misses per kilo-instruction."""
+        kilo_insts = max(self.instructions / 1000.0, 1e-9)
+        return self.l2_demand_misses / kilo_insts
+
+    @property
+    def l2_miss_rate(self) -> float:
+        if self.l2_demand_accesses == 0:
+            return 0.0
+        return self.l2_demand_misses / self.l2_demand_accesses
+
+    @property
+    def total_flits(self) -> int:
+        return sum(self.traffic.values())
+
+    @property
+    def injection_load(self) -> float:
+        """Average flits per cycle per tile injected into the NoC."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_flits / self.cycles / self.num_cores
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Execution-time speedup of this run versus a baseline run."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def traffic_vs(self, baseline: "SimResult") -> float:
+        """Total NoC traffic normalized to a baseline run."""
+        base = baseline.total_flits
+        return self.total_flits / base if base else 0.0
+
+    def push_accuracy(self) -> float:
+        """Fraction of received pushes that were useful (Fig. 12)."""
+        total = sum(self.push_usage.values())
+        if total == 0:
+            return 0.0
+        useful = (self.push_usage["push_miss_to_hit"]
+                  + self.push_usage["push_early_resp"])
+        return useful / total
+
+    def traffic_fractions(self) -> Dict[str, float]:
+        total = self.total_flits
+        if total == 0:
+            return {name: 0.0 for name in self.traffic}
+        return {name: flits / total for name, flits in self.traffic.items()}
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (f"{self.workload}/{self.config}: {self.cycles} cycles, "
+                f"MPKI={self.l2_mpki:.1f}, flits={self.total_flits}, "
+                f"push_acc={self.push_accuracy():.2f}")
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe dictionary (link-load keys become strings)."""
+        return {
+            "config": self.config,
+            "workload": self.workload,
+            "num_cores": self.num_cores,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "l2_demand_accesses": self.l2_demand_accesses,
+            "l2_demand_misses": self.l2_demand_misses,
+            "traffic": dict(self.traffic),
+            "l2_inject": dict(self.l2_inject),
+            "l2_eject": dict(self.l2_eject),
+            "llc_inject": dict(self.llc_inject),
+            "llc_eject": dict(self.llc_eject),
+            "push_usage": dict(self.push_usage),
+            "link_load": {f"{router}:{direction}": flits
+                          for (router, direction), flits
+                          in self.link_load.items()},
+            "requests_filtered": self.requests_filtered,
+            "pushes_triggered": self.pushes_triggered,
+            "mean_push_degree": self.mean_push_degree,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`."""
+        link_load = {}
+        for key, flits in data.get("link_load", {}).items():
+            router, direction = key.split(":", 1)
+            link_load[(int(router), direction)] = flits
+        fields = dict(data)
+        fields["link_load"] = link_load
+        return cls(**fields)
+
+    def save_json(self, path) -> None:
+        """Write this result record to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load_json(cls, path) -> "SimResult":
+        """Read a result record written by :meth:`save_json`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def collect_result(system, workload: str, config: str,
+                   cycles: int) -> SimResult:
+    """Build a :class:`SimResult` from a finished :class:`System`."""
+    caches = system.caches
+    slices = system.slices
+    instructions = sum(core.instructions for core in system.cores)
+    demand_accesses = sum(c.stats.get("demand_accesses") for c in caches)
+    demand_misses = sum(c.stats.get("demand_misses") for c in caches)
+
+    def _endpoint(groups, child: str) -> Dict[str, int]:
+        totals: Dict[str, int] = {cls.name: 0 for cls in TrafficClass}
+        for group in groups:
+            for key, value in group.stats.child(child).counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    push_usage = {name: sum(c.stats.get(name) for c in caches)
+                  for name in PUSH_CATEGORIES}
+
+    pushes = sum(s.stats.get("pushes_triggered") for s in slices)
+    degree_hist_total = 0
+    degree_hist_count = 0
+    for slc in slices:
+        hist = slc.stats.histograms().get("push_degree")
+        if hist is not None:
+            degree_hist_total += hist.total
+            degree_hist_count += hist.count
+
+    traffic = {cls.name: flits
+               for cls, flits in system.network.traffic_breakdown().items()}
+    return SimResult(
+        config=config,
+        workload=workload,
+        num_cores=system.params.num_cores,
+        cycles=cycles,
+        instructions=instructions,
+        l2_demand_accesses=demand_accesses,
+        l2_demand_misses=demand_misses,
+        traffic=traffic,
+        l2_inject=_endpoint(caches, "inject"),
+        l2_eject=_endpoint(caches, "eject"),
+        llc_inject=_endpoint(slices, "inject"),
+        llc_eject=_endpoint(slices, "eject"),
+        push_usage=push_usage,
+        link_load=system.network.link_load_matrix(),
+        requests_filtered=system.network.stats.get("requests_filtered"),
+        pushes_triggered=pushes,
+        mean_push_degree=(degree_hist_total / degree_hist_count
+                          if degree_hist_count else 0.0),
+    )

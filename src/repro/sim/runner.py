@@ -1,0 +1,75 @@
+"""High-level run harness: one call = one configured simulation.
+
+``run_workload`` is the main public entry point::
+
+    from repro.sim import run_workload
+    result = run_workload("cachebw", "ordpush", num_cores=16)
+    print(result.summary())
+
+Workload names resolve through :mod:`repro.workloads.registry`; any
+keyword accepted by :func:`repro.sim.config.make_params` can be passed
+through, plus workload sizing keywords (forwarded to the generator).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, List
+
+from repro.common.params import SystemParams
+from repro.sim.config import make_params
+from repro.sim.results import SimResult, collect_result
+from repro.sim.system import System
+
+_CONFIG_KEYWORDS = frozenset(
+    inspect.signature(make_params).parameters) - {"config"}
+
+
+def run_system(params: SystemParams, traces: List, workload: str = "custom",
+               config: str = "custom",
+               max_cycles: int = 100_000_000) -> SimResult:
+    """Run explicit traces on an explicit parameter set."""
+    system = System(params)
+    system.attach_workload(traces)
+    cycles = system.run(max_cycles=max_cycles)
+    return collect_result(system, workload, config, cycles)
+
+
+def run_workload(workload: str, config: str = "baseline",
+                 num_cores: int = 16,
+                 max_cycles: int = 100_000_000,
+                 seed: int = 1,
+                 **kwargs) -> SimResult:
+    """Run a named workload under a named configuration.
+
+    Keyword arguments are split automatically: those understood by
+    :func:`make_params` configure the hardware; the rest size the
+    workload generator.
+    """
+    from repro.workloads.registry import build_traces, suggested_window
+
+    hw_kwargs: Dict = {}
+    wl_kwargs: Dict = {}
+    for key, value in kwargs.items():
+        if key in _CONFIG_KEYWORDS:
+            hw_kwargs[key] = value
+        else:
+            wl_kwargs[key] = value
+    if "max_outstanding" not in hw_kwargs:
+        window = suggested_window(workload)
+        if window is not None:
+            hw_kwargs["max_outstanding"] = window
+    params = make_params(config, num_cores=num_cores, **hw_kwargs)
+    traces = build_traces(workload, num_cores=num_cores, seed=seed,
+                          **wl_kwargs)
+    return run_system(params, traces, workload=workload, config=config,
+                      max_cycles=max_cycles)
+
+
+def run_comparison(workload: str, configs: List[str],
+                   num_cores: int = 16, seed: int = 1,
+                   **kwargs) -> Dict[str, SimResult]:
+    """Run one workload under several configurations."""
+    return {config: run_workload(workload, config, num_cores=num_cores,
+                                 seed=seed, **kwargs)
+            for config in configs}

@@ -1,0 +1,69 @@
+"""Full-system statistics dump (gem5 ``stats.txt`` style).
+
+``dump_stats(system)`` renders every counter in the system's stat tree
+plus the network's link/traffic state into a flat, sorted, text report —
+the debugging view for protocol work, and diffable across runs.
+"""
+
+from __future__ import annotations
+
+import io
+
+
+from repro.common.stats import StatGroup
+
+
+def _write_group(out: io.StringIO, prefix: str, group: StatGroup) -> None:
+    for key, value in sorted(group.counters().items()):
+        if isinstance(value, float):
+            out.write(f"{prefix}.{key:<40s} {value:.4f}\n")
+        else:
+            out.write(f"{prefix}.{key:<40s} {value}\n")
+    for key, hist in sorted(group.histograms().items()):
+        out.write(f"{prefix}.{key}.count{'':<34s} {hist.count}\n")
+        out.write(f"{prefix}.{key}.mean{'':<35s} {hist.mean:.2f}\n")
+        out.write(f"{prefix}.{key}.p95{'':<36s} "
+                  f"{hist.percentile(0.95)}\n")
+    for child in group.children():
+        _write_group(out, f"{prefix}.{child.name}", child)
+
+
+def dump_stats(system, aggregate: bool = True) -> str:
+    """Render a system's statistics as sorted ``path value`` lines.
+
+    With ``aggregate`` (the default) per-tile controller groups are also
+    folded into ``agg.l2`` / ``agg.llc`` totals at the top of the dump.
+    """
+    out = io.StringIO()
+    out.write("---------- Begin Simulation Statistics ----------\n")
+    out.write(f"sim.cycles{'':<34s} {system.scheduler.now}\n")
+    out.write(f"sim.cores_finished{'':<26s} "
+              f"{sum(1 for c in system.cores if c.finished)}\n")
+
+    if aggregate:
+        for kind, groups in (("l2", system.caches), ("llc", system.slices)):
+            total = StatGroup(kind)
+            for controller in groups:
+                total.merge(controller.stats)
+            _write_group(out, f"agg.{kind}", total)
+
+    _write_group(out, "network", system.network.stats)
+    for traffic_class, flits in sorted(
+            system.network.traffic_breakdown().items(),
+            key=lambda item: item[0].name):
+        out.write(f"network.traffic.{traffic_class.name.lower():<28s} "
+                  f"{flits}\n")
+    for router in system.network.routers:
+        flits = sum(port.flits_tx for port in router.output_ports
+                    if port is not None)
+        out.write(f"router{router.id}.flits_tx{'':<30s} {flits}\n")
+        _write_group(out, f"router{router.id}", router.stats)
+    _write_group(out, "system", system.stats)
+    out.write("---------- End Simulation Statistics ----------\n")
+    return out.getvalue()
+
+
+def save_stats(system, path, aggregate: bool = True) -> None:
+    """Write :func:`dump_stats` output to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_stats(system, aggregate=aggregate))

@@ -1,0 +1,212 @@
+"""Full-system wiring: tiles (core + L1/L2 + LLC slice + router) + memory.
+
+One :class:`System` owns a scheduler, a mesh network, one private cache
+hierarchy and one LLC slice per tile, and the corner memory controllers.
+The tile's network interface dispatches ejected messages to the right
+controller by message type:
+
+===========================  =========================
+message types                delivered to
+===========================  =========================
+GETS GETM PUTM INV_ACK
+PUSH_ACK                     home LLC slice
+DATA_S DATA_E PUSH INV
+DOWNGRADE WB_ACK             private cache
+MEM_READ MEM_WB              memory controller
+MEM_DATA                     LLC slice (fill return)
+===========================  =========================
+
+(A PUTM can terminate at either the LLC — normal writeback — or carry a
+recall acknowledgment; both are LLC-bound.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.addr import AddressMap
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import SystemParams
+from repro.common.scheduler import Scheduler
+from repro.common.stats import StatGroup
+from repro.cache.llc import LLCSlice
+from repro.cache.memory import MemoryController
+from repro.cache.private_cache import PrivateCache
+from repro.cpu.core import Barrier, Core
+from repro.cpu.traces import TraceRecord
+from repro.noc.network import Network
+from repro.prefetch.unit import PrefetchUnit
+
+_LLC_BOUND = frozenset({
+    MsgType.GETS, MsgType.GETM, MsgType.PUTM, MsgType.INV_ACK,
+    MsgType.PUSH_ACK, MsgType.UNBLOCK, MsgType.MEM_DATA,
+})
+_L2_BOUND = frozenset({
+    MsgType.DATA_S, MsgType.DATA_E, MsgType.PUSH, MsgType.INV,
+    MsgType.DOWNGRADE, MsgType.WB_ACK,
+})
+_MEM_BOUND = frozenset({MsgType.MEM_READ, MsgType.MEM_WB})
+
+
+class System:
+    """A configured manycore system ready to execute workload traces."""
+
+    def __init__(self, params: SystemParams) -> None:
+        self.params = params
+        self.scheduler = Scheduler()
+        push = params.push
+        self.network = Network(
+            params.noc, self.scheduler,
+            filter_enabled=push.pushes and push.network_filter
+            and push.mode != "msp",
+            ordered_pushes=push.mode == "ordpush")
+        self.addr_map = AddressMap(params.num_cores)
+        self.stats = StatGroup("system")
+        #: authoritative line-version registry shared by all LLC slices
+        self.versions: Dict[int, int] = {}
+
+        mesh = self.network.mesh
+        self._mem_tiles = mesh.memory_controller_tiles()
+        self._nearest_ctrl = [
+            min(self._mem_tiles,
+                key=lambda ctrl: (mesh.hop_distance(tile, ctrl), ctrl))
+            for tile in range(params.num_cores)
+        ]
+
+        self.caches: List[PrivateCache] = []
+        self.slices: List[LLCSlice] = []
+        self.memories: Dict[int, MemoryController] = {}
+        for tile in range(params.num_cores):
+            cache = PrivateCache(
+                tile, params, self.scheduler, self.network.send,
+                self._home_of, stats=self.stats.child(f"l2_{tile}"))
+            llc = LLCSlice(
+                tile, params, self.scheduler, self.network.send,
+                self._home_of, self._mem_ctrl_of, self.versions,
+                stats=self.stats.child(f"llc_{tile}"))
+            self.caches.append(cache)
+            self.slices.append(llc)
+            self.network.interface(tile).eject_hook = (
+                lambda msg, t=tile: self._dispatch(t, msg))
+            if params.prefetch.enabled:
+                cache.prefetcher = PrefetchUnit(
+                    params.prefetch,
+                    issue=lambda byte_addr, c=cache: c.access(
+                        byte_addr, False, None, is_prefetch=True),
+                    stats=self.stats.child(f"prefetch_{tile}"))
+        for tile in self._mem_tiles:
+            self.memories[tile] = MemoryController(
+                tile, params.memory, self.scheduler, self.network.send,
+                stats=self.stats.child(f"mem_{tile}"))
+        self.network.request_filtered_hook = self._on_request_filtered
+
+        self.cores: List[Core] = []
+        self._finished_cores = 0
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+
+    def _home_of(self, line_addr: int) -> int:
+        return self.addr_map.home_slice(line_addr)
+
+    def _mem_ctrl_of(self, slice_tile: int) -> int:
+        return self._nearest_ctrl[slice_tile]
+
+    def _dispatch(self, tile: int, msg: CoherenceMsg) -> None:
+        if msg.msg_type in _LLC_BOUND:
+            self.slices[tile].deliver(msg)
+        elif msg.msg_type in _L2_BOUND:
+            self.caches[tile].deliver(msg)
+        elif msg.msg_type in _MEM_BOUND:
+            controller = self.memories.get(tile)
+            if controller is None:
+                raise SimulationError(
+                    f"memory message routed to non-controller tile {tile}")
+            controller.deliver(msg)
+        else:
+            raise SimulationError(f"unroutable message {msg}")
+
+    def _on_request_filtered(self, msg: CoherenceMsg) -> None:
+        self.caches[msg.src].note_request_filtered(msg.line_addr)
+
+    # ------------------------------------------------------------------
+    # workload attachment and execution
+    # ------------------------------------------------------------------
+
+    def attach_workload(self, traces: List[TraceRecord]) -> None:
+        """Create one core per trace (must match the core count)."""
+        if len(traces) != self.params.num_cores:
+            raise ConfigError(
+                f"workload provides {len(traces)} traces for "
+                f"{self.params.num_cores} cores")
+        barrier = Barrier(self.params.num_cores)
+        self.cores = [
+            Core(tile, self.params.core, self.scheduler,
+                 self.caches[tile], trace, barrier,
+                 on_finished=self._on_core_finished,
+                 stats=self.stats.child(f"core{tile}"))
+            for tile, trace in enumerate(traces)
+        ]
+
+    def _on_core_finished(self, core: Core) -> None:
+        self._finished_cores += 1
+
+    def watch_shared_gets(self, lo_line: int, hi_line: int) -> List[tuple]:
+        """Record (cycle, line, requester) for every GETS in a line
+        range at any home slice — the Fig. 4 access-interval probe."""
+        log: List[tuple] = []
+        for slc in self.slices:
+            slc.gets_log = log
+            slc.watch_range = (lo_line, hi_line)
+        return log
+
+    @property
+    def all_finished(self) -> bool:
+        return self.cores and self._finished_cores == len(self.cores)
+
+    def run(self, max_cycles: int = 100_000_000,
+            drain: bool = True) -> int:
+        """Execute until every core retires its trace.
+
+        Returns the execution time in cycles (the last core's finish).
+        ``drain`` additionally flushes in-flight traffic afterwards so
+        traffic statistics are complete; the returned time is unaffected.
+        """
+        if not self.cores:
+            raise ConfigError("attach_workload() before run()")
+        for core in self.cores:
+            core.start()
+        scheduler = self.scheduler
+        network = self.network
+        cycle = scheduler.now
+        while not self.all_finished:
+            if network.active:
+                cycle += 1
+            else:
+                next_event = scheduler.next_event_cycle()
+                if next_event is None:
+                    raise SimulationError(
+                        "system idle with unfinished cores (protocol hang)")
+                cycle = max(cycle + 1, next_event)
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}")
+            scheduler.run_due(cycle)
+            network.tick(cycle)
+        finish = max(core.finish_cycle for core in self.cores)
+        if drain:
+            self._drain(max_cycles)
+        return finish
+
+    def _drain(self, max_cycles: int) -> None:
+        scheduler = self.scheduler
+        network = self.network
+        cycle = scheduler.now
+        while network.active or scheduler.pending:
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError("drain exceeded max_cycles")
+            scheduler.run_due(cycle)
+            network.tick(cycle)

@@ -1,0 +1,17 @@
+"""Synthetic workload generators mirroring the paper's Table II.
+
+Each module builds per-core access traces that reproduce the *memory
+structure* of the original benchmark — working-set size relative to the
+private L2, sharing degree, inter-sharer skew, and read/write mix — at
+sizes a Python cycle-level simulation can execute.  See
+:mod:`repro.workloads.registry` for the catalogue.
+"""
+
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadDef,
+    build_traces,
+    workload_names,
+)
+
+__all__ = ["WORKLOADS", "WorkloadDef", "build_traces", "workload_names"]

@@ -1,0 +1,102 @@
+"""Building blocks shared by the workload generators.
+
+The generators reproduce the paper's traffic structure, which rests on
+three ingredients:
+
+* **capacity re-misses** — shared regions sized beyond the private L2,
+  so previously-read shared lines are evicted before reuse (§II-B);
+* **inter-sharer skew** — consecutive accesses to the same shared line
+  from different cores land hundreds to thousands of cycles apart
+  (Fig. 4), which is what lets a push cross later readers' requests in
+  the network.  ``stagger`` emits the per-iteration scheduling jitter
+  that produces this spread;
+* **compute gaps** — per-access ``work`` controls network load (small
+  gaps saturate the NoC; large gaps give the PARSEC-like low-load
+  profile).
+
+Addresses are handed out from disjoint 64 MiB arenas so regions never
+alias across (or within) workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.common.params import LINE_BYTES
+from repro.cpu.traces import MemAccess
+
+ARENA_BYTES = 64 * 1024 * 1024
+
+
+class Region:
+    """A contiguous range of cache lines with a base byte address."""
+
+    __slots__ = ("name", "base_line", "lines")
+
+    def __init__(self, name: str, base_line: int, lines: int) -> None:
+        self.name = name
+        self.base_line = base_line
+        self.lines = lines
+
+    def addr(self, line_index: int) -> int:
+        """Byte address of the given line within the region (wraps)."""
+        return (self.base_line + line_index % self.lines) * LINE_BYTES
+
+    def __repr__(self) -> str:
+        return f"Region({self.name}, lines={self.lines})"
+
+
+class AddressSpace:
+    """Allocates non-overlapping regions inside one workload's arena."""
+
+    def __init__(self, arena: int = 1) -> None:
+        self._next_line = arena * (ARENA_BYTES // LINE_BYTES)
+
+    def region(self, name: str, lines: int) -> Region:
+        if lines < 1:
+            raise ValueError("region must have at least one line")
+        region = Region(name, self._next_line, lines)
+        # Pad to keep regions set-index-decorrelated.
+        self._next_line += lines + 64
+        return region
+
+
+#: Fig. 4's cumulative first-to-last sharer spread is "several thousand
+#: cycles" on 16 cores; the spread reflects OoO/NUCA drift and does NOT
+#: grow linearly with the core count, so offsets are drawn from a fixed
+#: window of ``pair_skew * STAGGER_REF_CORES`` cycles.
+STAGGER_REF_CORES = 16
+
+
+def stagger(core: int, rng: random.Random, pair_skew: int,
+            scratch: Region) -> MemAccess:
+    """Per-iteration start offset reproducing the Fig. 4 sharer spread.
+
+    ``pair_skew`` is the expected gap between consecutive sharers on a
+    16-core system; each core draws a uniform offset from the implied
+    total window, modelling random thread-speed variation.
+    """
+    spread = max(pair_skew, 1) * STAGGER_REF_CORES
+    delay = rng.randrange(0, spread)
+    return MemAccess(addr=scratch.addr(core), work=delay, pc=0xFFFF)
+
+
+def jittered(base_work: int, rng: random.Random, spread: int = 3) -> int:
+    """A per-access compute gap with small random jitter."""
+    return base_work + rng.randrange(0, max(spread, 1))
+
+
+def scan(region: Region, start: int, count: int, base_work: int,
+         rng: random.Random, pc: int, stride: int = 1,
+         is_write: bool = False) -> Iterator[MemAccess]:
+    """Sequentially scan ``count`` lines of a region."""
+    for i in range(count):
+        yield MemAccess(addr=region.addr(start + i * stride),
+                        is_write=is_write,
+                        work=jittered(base_work, rng), pc=pc)
+
+
+def make_traces(num_cores: int, builder) -> List:
+    """Instantiate one generator per core from ``builder(core)``."""
+    return [builder(core) for core in range(num_cores)]

@@ -1,0 +1,35 @@
+"""cachebw — multi-threaded shared array scanning (ArchBenchSuite [28]).
+
+Every thread scans the same shared array, in the same order, repeatedly.
+The array exceeds the private L2, so each pass re-misses every line:
+the paper's archetypal high-sharing / high-load workload (sharing degree
+= all cores, OrdPush's best case at 1.23x / -60 % traffic).
+
+Paper input: 8 MB array against a 256 KB L2 (32:1).  Scaled default:
+``array_lines`` = 2x the bench-profile L2 with 3 passes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cpu.traces import BARRIER
+from repro.workloads.base import AddressSpace, scan, stagger
+
+
+def build(num_cores: int, seed: int = 1, array_lines: int = 1024,
+          iters: int = 3, work: int = 2, pair_skew: int = 100) -> List:
+    """Per-core traces for cachebw."""
+    space = AddressSpace(arena=1)
+    array = space.region("shared_array", array_lines)
+    scratch = space.region("scratch", num_cores)
+
+    def trace(core: int):
+        rng = random.Random(seed * 1000 + core)
+        for _ in range(iters):
+            yield stagger(core, rng, pair_skew, scratch)
+            yield from scan(array, 0, array_lines, work, rng, pc=0x10)
+            yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]

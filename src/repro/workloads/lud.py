@@ -1,0 +1,50 @@
+"""lud — blocked lower-upper decomposition (Rodinia [14]).
+
+Each elimination step broadcasts the pivot row (read by every core)
+while cores update their own block rows in place (read-modify-write).
+The active region shrinks every step.  Mixed sharing with a meaningful
+write/invalidation component.
+
+Paper input: 1024-2048 matrices.  Scaled default: a 1024-line matrix
+over 8 elimination steps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cpu.traces import BARRIER
+from repro.workloads.base import AddressSpace, scan, stagger
+
+
+def build(num_cores: int, seed: int = 1, matrix_lines: int = 1024,
+          steps: int = 8, pivot_lines: int = 32, work: int = 2,
+          pair_skew: int = 100) -> List:
+    """Per-core traces for lud."""
+    space = AddressSpace(arena=8)
+    matrix = space.region("matrix", matrix_lines)
+    scratch = space.region("scratch", num_cores)
+
+    def trace(core: int):
+        rng = random.Random(seed * 1000 + core)
+        for step in range(steps):
+            active_start = step * pivot_lines
+            active_lines = matrix_lines - active_start
+            if active_lines <= pivot_lines:
+                break
+            yield stagger(core, rng, pair_skew, scratch)
+            # Read the shared pivot row.
+            yield from scan(matrix, active_start, pivot_lines, work, rng,
+                            pc=0x80)
+            # Update this core's slice of the trailing submatrix.
+            trailing = active_lines - pivot_lines
+            slice_lines = max(trailing // num_cores, 1)
+            mine = active_start + pivot_lines + core * slice_lines
+            yield from scan(matrix, mine, slice_lines, work, rng,
+                            pc=0x81)
+            yield from scan(matrix, mine, slice_lines, work, rng,
+                            pc=0x82, is_write=True)
+            yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]

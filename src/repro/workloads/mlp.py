@@ -1,0 +1,49 @@
+"""mlp — multilayer perceptron inference (LIBXSMM-style [29], [43]).
+
+All cores read the shared layer weights for their private batch slice.
+The implementation the paper evaluates has a low compute-to-memory
+ratio *without* wide SIMD, which makes it latency-sensitive and only
+lightly loaded — the one high-sharing case where the L1Bingo-L2Stride
+baseline beats Push Multicast (the prefetchers hide latency that the
+pushes cannot).  The trace models the short dependence chains with a
+reduced suggested outstanding-miss window.
+
+Paper input: batch 256, 1K features.  Scaled default: 3 layers of 256
+lines, 3 batch chunks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cpu.traces import BARRIER
+from repro.workloads.base import AddressSpace, scan, stagger
+
+#: dependence-limited MLP: the paper's mlp is latency-bound
+SUGGESTED_WINDOW = 4
+
+
+def build(num_cores: int, seed: int = 1, layers: int = 3,
+          layer_lines: int = 256, batch_chunks: int = 3, work: int = 10,
+          pair_skew: int = 90) -> List:
+    """Per-core traces for mlp."""
+    space = AddressSpace(arena=5)
+    weight_regions = [space.region(f"w{i}", layer_lines)
+                      for i in range(layers)]
+    acts = [space.region(f"act{c}", 64) for c in range(num_cores)]
+    scratch = space.region("scratch", num_cores)
+
+    def trace(core: int):
+        rng = random.Random(seed * 1000 + core)
+        mine = acts[core]
+        for _ in range(batch_chunks):
+            yield stagger(core, rng, pair_skew, scratch)
+            for layer, weights in enumerate(weight_regions):
+                yield from scan(weights, 0, weights.lines, work, rng,
+                                pc=0x50 + layer)
+                yield from scan(mine, 0, 32, work, rng, pc=0x58,
+                                is_write=True)
+                yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]

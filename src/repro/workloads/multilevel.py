@@ -1,0 +1,40 @@
+"""multilevel — partitioned multi-level buffer scanning (ArchBench [28]).
+
+The buffer is split into ``levels`` partitions, each scanned repeatedly
+by a distinct subset of threads: sharing degree = cores / levels (4 on
+the paper's 16-core setup, where most shared lines report exactly 4
+sharers).  High load, medium sharing.
+
+Paper input: 4 levels of 2 MB each.  Scaled default: 4 levels sized at
+2x the bench-profile L2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cpu.traces import BARRIER
+from repro.workloads.base import AddressSpace, scan, stagger
+
+
+def build(num_cores: int, seed: int = 1, levels: int = 4,
+          level_lines: int = 1024, iters: int = 3, work: int = 2,
+          pair_skew: int = 150) -> List:
+    """Per-core traces for multilevel."""
+    levels = min(levels, num_cores)
+    space = AddressSpace(arena=2)
+    buffers = [space.region(f"level{i}", level_lines)
+               for i in range(levels)]
+    scratch = space.region("scratch", num_cores)
+
+    def trace(core: int):
+        rng = random.Random(seed * 1000 + core)
+        level = buffers[core % levels]
+        group_rank = core // levels
+        for _ in range(iters):
+            yield stagger(group_rank, rng, pair_skew, scratch)
+            yield from scan(level, 0, level_lines, work, rng, pc=0x20)
+            yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]

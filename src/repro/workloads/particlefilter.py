@@ -1,0 +1,56 @@
+"""particlefilter — statistical target tracking (Rodinia [14]).
+
+Every frame, all cores evaluate weights over the whole shared particle
+array (full-array read sharing, degree = all cores), then the owning
+core resamples its partition in place (writes, triggering invalidations
+that the next frame's reads re-share).  High sharing with near-perfect
+push accuracy in the paper.
+
+Paper input: 1000x1000 frames, 192K particles.  Scaled default: a
+768-line particle array over 3 frames.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cpu.traces import BARRIER
+from repro.workloads.base import AddressSpace, scan, stagger
+
+
+def build(num_cores: int, seed: int = 1, particle_lines: int = 768,
+          frames: int = 4, work: int = 2, pair_skew: int = 120,
+          resample_frac: float = 0.2) -> List:
+    """Per-core traces for particlefilter.
+
+    Only ``resample_frac`` of each partition is rewritten per frame (the
+    resampling step moves a minority of particles), so most lines keep
+    their accumulated sharer lists across frames — which is what gives
+    particlefilter its near-perfect push accuracy in the paper.
+    """
+    space = AddressSpace(arena=7)
+    particles = space.region("particles", particle_lines)
+    weights = space.region("weights", particle_lines // 4)
+    scratch = space.region("scratch", num_cores)
+    chunk = particle_lines // num_cores
+    rewrite = max(1, int(chunk * resample_frac))
+
+    def trace(core: int):
+        rng = random.Random(seed * 1000 + core)
+        for _ in range(frames):
+            yield stagger(core, rng, pair_skew, scratch)
+            # Weight evaluation: scan every particle (read-shared).
+            yield from scan(particles, 0, particle_lines, work, rng,
+                            pc=0x70)
+            # Normalize own weight slice (private-ish writes).
+            yield from scan(weights, core * (weights.lines // num_cores),
+                            weights.lines // num_cores, work, rng,
+                            pc=0x72, is_write=True)
+            yield BARRIER
+            # Resample: rewrite a fraction of the owned partition.
+            yield from scan(particles, core * chunk, rewrite, work, rng,
+                            pc=0x71, is_write=True)
+            yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]

@@ -1,0 +1,123 @@
+"""Workload catalogue: Table II names mapped to trace builders.
+
+``build_traces(name, num_cores, seed, **sizes)`` is the single entry
+point used by the run harness; ``WORKLOADS`` carries the metadata the
+benchmarks and documentation consume (paper input, sharing profile,
+suggested outstanding-miss window for dependence-limited codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.workloads import (
+    backprop,
+    bfs,
+    cachebw,
+    conv3d,
+    lud,
+    mlp,
+    multilevel,
+    mv,
+    parsec,
+    particlefilter,
+    pathfinder,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadDef:
+    """One catalogue entry."""
+
+    name: str
+    builder: Callable[..., List]
+    description: str
+    paper_input: str
+    sharing: str           #: "high" / "medium" / "low"
+    load: str              #: "high" / "medium" / "low"
+    suggested_window: Optional[int] = None
+    """Override for CoreParams.max_outstanding (dependence-limited)."""
+
+
+WORKLOADS: Dict[str, WorkloadDef] = {
+    wl.name: wl for wl in (
+        WorkloadDef("cachebw", cachebw.build,
+                    "multi-threaded shared array scanning",
+                    "8 MB array", "high", "high"),
+        WorkloadDef("multilevel", multilevel.build,
+                    "partitioned multi-level buffer scanning",
+                    "4 levels x 2 MB", "medium", "high"),
+        WorkloadDef("backprop", backprop.build,
+                    "NN training layer (shared weights)",
+                    "64K/128K/256K units", "medium", "high"),
+        WorkloadDef("mlp", mlp.build,
+                    "multilayer perceptron inference",
+                    "batch 256-1024, 1K features", "high", "low",
+                    suggested_window=mlp.SUGGESTED_WINDOW),
+        WorkloadDef("mv", mv.build,
+                    "matrix-vector multiplication",
+                    "32 x 64K matrix, 64K vector", "low", "high"),
+        WorkloadDef("conv3d", conv3d.build,
+                    "3D convolution over a shared input tile",
+                    "256x256, 16 ch in / 64 ch out", "high", "medium"),
+        WorkloadDef("particlefilter", particlefilter.build,
+                    "statistical target-location estimation",
+                    "1000x1000 frames, 192K particles", "high", "medium"),
+        WorkloadDef("lud", lud.build,
+                    "lower-upper decomposition",
+                    "1024-2048 matrix", "medium", "medium"),
+        WorkloadDef("pathfinder", pathfinder.build,
+                    "dynamic-programming grid traversal",
+                    "1.5M entries, 8 iterations", "low", "medium"),
+        WorkloadDef("bfs", bfs.build,
+                    "breadth-first search (irregular)",
+                    "1M-4M nodes", "low", "medium",
+                    suggested_window=bfs.SUGGESTED_WINDOW),
+        WorkloadDef("blackscholes", parsec.build_blackscholes,
+                    "PARSEC option pricing proxy",
+                    "simlarge", "low", "low"),
+        WorkloadDef("bodytrack", parsec.build_bodytrack,
+                    "PARSEC body tracking proxy",
+                    "simlarge", "medium", "low"),
+        WorkloadDef("fluidanimate", parsec.build_fluidanimate,
+                    "PARSEC incompressible-fluid proxy",
+                    "simlarge", "low", "low"),
+        WorkloadDef("freqmine", parsec.build_freqmine,
+                    "PARSEC frequent-itemset-mining proxy",
+                    "simlarge", "low", "low"),
+        WorkloadDef("swaptions", parsec.build_swaptions,
+                    "PARSEC Monte-Carlo pricing proxy",
+                    "simlarge", "low", "low"),
+    )
+}
+
+#: the ten non-PARSEC workloads most figures sweep
+CORE_WORKLOADS: Tuple[str, ...] = (
+    "cachebw", "multilevel", "backprop", "particlefilter", "conv3d",
+    "mlp", "mv", "lud", "pathfinder", "bfs",
+)
+
+PARSEC_WORKLOADS: Tuple[str, ...] = (
+    "blackscholes", "bodytrack", "fluidanimate", "freqmine", "swaptions",
+)
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+def build_traces(name: str, num_cores: int, seed: int = 1,
+                 **sizes) -> List:
+    """Build per-core traces for a catalogued workload."""
+    definition = WORKLOADS.get(name)
+    if definition is None:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    return definition.builder(num_cores, seed=seed, **sizes)
+
+
+def suggested_window(name: str) -> Optional[int]:
+    definition = WORKLOADS.get(name)
+    return definition.suggested_window if definition else None

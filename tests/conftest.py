@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import NoCParams
+from repro.common.scheduler import Scheduler
+from repro.noc.network import Network
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+@pytest.fixture
+def small_net(scheduler: Scheduler) -> Network:
+    """A 2x2 mesh network with filtering off."""
+    return Network(NoCParams(rows=2, cols=2), scheduler)
+
+
+@pytest.fixture
+def mesh4_net(scheduler: Scheduler) -> Network:
+    """A 4x4 mesh network with filtering on (push-multicast setup)."""
+    return Network(NoCParams(rows=4, cols=4), scheduler,
+                   filter_enabled=True, ordered_pushes=True)
+
+
+def drain(network: Network, limit: int = 100_000) -> int:
+    """Run the network until empty; returns the cycle it drained at."""
+    scheduler = network.scheduler
+    cycle = scheduler.now
+    while network.active or scheduler.pending:
+        cycle += 1
+        if cycle > limit:
+            raise AssertionError("network failed to drain")
+        scheduler.run_due(cycle)
+        network.tick(cycle)
+    return cycle

@@ -1,0 +1,57 @@
+"""Address map tests, including hypothesis properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addr import AddressMap, byte_of, line_of
+from repro.common.errors import ConfigError
+from repro.common.params import LINE_BYTES
+
+
+class TestLineMath:
+    def test_line_of_byte_of_roundtrip(self) -> None:
+        assert line_of(byte_of(1234)) == 1234
+
+    def test_line_of_groups_a_line(self) -> None:
+        assert line_of(0) == line_of(LINE_BYTES - 1)
+        assert line_of(LINE_BYTES) == 1
+
+
+class TestAddressMap:
+    def test_rejects_zero_slices(self) -> None:
+        with pytest.raises(ConfigError):
+            AddressMap(0)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_home_slice_in_range(self, line_addr: int) -> None:
+        amap = AddressMap(16)
+        assert 0 <= amap.home_slice(line_addr) < 16
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_home_slice_deterministic(self, line_addr: int) -> None:
+        amap = AddressMap(64)
+        assert amap.home_slice(line_addr) == amap.home_slice(line_addr)
+
+    def test_sequential_lines_spread_over_slices(self) -> None:
+        """The hash must not map a whole scan to one home slice."""
+        amap = AddressMap(16)
+        homes = {amap.home_slice(line) for line in range(256)}
+        assert len(homes) == 16
+
+    def test_strided_lines_spread_over_slices(self) -> None:
+        amap = AddressMap(16)
+        homes = [amap.home_slice(line) for line in range(0, 16 * 64, 64)]
+        assert len(set(homes)) > 4
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from([64, 256, 1024]))
+    def test_set_index_in_range(self, line_addr: int,
+                                num_sets: int) -> None:
+        assert 0 <= AddressMap.set_index(line_addr, num_sets) < num_sets
+
+    def test_region_of(self) -> None:
+        lines_per_region = 2048 // LINE_BYTES
+        assert AddressMap.region_of(0, 2048) == 0
+        assert AddressMap.region_of(lines_per_region, 2048) == 1

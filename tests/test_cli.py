@@ -1,0 +1,55 @@
+"""CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_parses(self) -> None:
+        args = build_parser().parse_args(
+            ["run", "cachebw", "ordpush", "--cores", "16", "--scaled"])
+        assert args.workload == "cachebw"
+        assert args.config == "ordpush"
+        assert args.scaled
+
+    def test_compare_defaults(self) -> None:
+        args = build_parser().parse_args(["compare", "mv"])
+        assert "ordpush" in args.configs
+
+    def test_rejects_unknown_workload(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom", "ordpush"])
+
+    def test_rejects_unknown_config(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "cachebw", "warp"])
+
+
+class TestCommands:
+    def test_list(self, capsys) -> None:
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cachebw" in out and "ordpush" in out
+
+    def test_run_small(self, capsys) -> None:
+        code = main(["run", "pathfinder", "noprefetch", "--cores", "4",
+                     "--scaled"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L2 MPKI" in out and "traffic breakdown" in out
+
+    def test_compare_small(self, capsys) -> None:
+        code = main(["compare", "pathfinder", "--cores", "4", "--scaled",
+                     "--configs", "noprefetch", "ordpush"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "ordpush" in out
+
+    def test_run_with_knobs(self, capsys) -> None:
+        code = main(["run", "pathfinder", "ordpush", "--cores", "4",
+                     "--scaled", "--tpc-threshold", "8",
+                     "--time-window", "300", "--link-bits", "256"])
+        assert code == 0

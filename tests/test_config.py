@@ -1,0 +1,118 @@
+"""Named configuration tests (Table I values and recipes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.config import (
+    ABLATION_STEPS,
+    CONFIG_NAMES,
+    bench_kwargs,
+    make_params,
+    mesh_shape,
+)
+
+
+class TestMeshShape:
+    def test_square_counts(self) -> None:
+        assert mesh_shape(16) == (4, 4)
+        assert mesh_shape(64) == (8, 8)
+        assert mesh_shape(4) == (2, 2)
+
+    def test_rejects_non_square(self) -> None:
+        with pytest.raises(ConfigError):
+            mesh_shape(12)
+
+
+class TestTable1Defaults:
+    def test_baseline_has_prefetchers_only(self) -> None:
+        params = make_params("baseline")
+        assert params.prefetch.enabled
+        assert params.push.mode == "off"
+
+    def test_default_cache_sizes(self) -> None:
+        params = make_params("baseline")
+        assert params.l1.size_bytes == 32 * 1024
+        assert params.l2.size_bytes == 256 * 1024
+        assert params.llc_slice.size_bytes == 1024 * 1024
+        assert params.l2.assoc == 16
+
+    def test_pushack_knobs_16_core(self) -> None:
+        params = make_params("pushack", num_cores=16)
+        assert params.push.tpc_threshold == 64
+        assert params.push.time_window == 500
+
+    def test_pushack_knobs_64_core(self) -> None:
+        params = make_params("pushack", num_cores=64)
+        assert params.push.tpc_threshold == 8
+        assert params.push.time_window == 1500
+
+    def test_ordpush_knobs(self) -> None:
+        assert make_params("ordpush", num_cores=16).push.tpc_threshold == 16
+        assert make_params("ordpush", num_cores=64).push.time_window == 1500
+
+    def test_knob_overrides(self) -> None:
+        params = make_params("ordpush", tpc_threshold=500, time_window=2000)
+        assert params.push.tpc_threshold == 500
+        assert params.push.time_window == 2000
+
+
+class TestRecipes:
+    def test_all_names_buildable(self) -> None:
+        for name in CONFIG_NAMES:
+            params = make_params(name)
+            assert params.num_cores == 16
+
+    def test_unknown_config_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            make_params("warp-drive")
+
+    def test_msp_recipe(self) -> None:
+        push = make_params("msp").push
+        assert push.mode == "msp"
+        assert not push.multicast
+        assert not push.network_filter
+        assert not push.dynamic_knob
+
+    def test_ablation_ladder_is_monotone_in_features(self) -> None:
+        feature_count = []
+        for name in ABLATION_STEPS:
+            push = make_params(name).push
+            feature_count.append(sum([push.multicast, push.network_filter,
+                                      push.dynamic_knob]))
+        assert feature_count == sorted(feature_count)
+        assert make_params(ABLATION_STEPS[-1]).push.mode == "ordpush"
+
+    def test_prefetchers_only_where_intended(self) -> None:
+        for name in CONFIG_NAMES:
+            expected = name in ("baseline", "ordpush_prefetch")
+            assert make_params(name).prefetch.enabled is expected
+
+    def test_interplay_config(self) -> None:
+        push = make_params("ordpush_prefetch").push
+        assert push.mode == "ordpush"
+        assert push.push_on_prefetch
+
+
+class TestSweepKnobs:
+    @pytest.mark.parametrize("bits", [64, 128, 256, 512])
+    def test_link_width_sweep(self, bits: int) -> None:
+        assert make_params("ordpush", link_bits=bits).noc.link_bits == bits
+
+    @pytest.mark.parametrize("l2,llc", [(256, 1024), (512, 1024),
+                                        (1024, 2048)])
+    def test_cache_size_sweep(self, l2: int, llc: int) -> None:
+        params = make_params("ordpush", l2_kb=l2, llc_slice_kb=llc)
+        assert params.l2.size_bytes == l2 * 1024
+        assert params.llc_slice.size_bytes == llc * 1024
+
+    def test_bench_profile_scaling(self) -> None:
+        kwargs = bench_kwargs()
+        params = make_params("ordpush", **kwargs)
+        # 8x scale-down of Table I, ratios preserved.
+        assert params.l2.size_bytes * 8 == 256 * 1024
+        assert params.llc_slice.size_bytes * 8 == 1024 * 1024
+
+    def test_bench_profile_overridable(self) -> None:
+        assert bench_kwargs(l2_kb=64)["l2_kb"] == 64

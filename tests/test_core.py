@@ -1,0 +1,155 @@
+"""Core timing model tests."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.params import CoreParams
+from repro.common.scheduler import Scheduler
+from repro.cpu.core import Barrier, Core
+from repro.cpu.traces import BARRIER, MemAccess
+
+
+class FakeCache:
+    """Completes every access after a fixed delay."""
+
+    def __init__(self, scheduler: Scheduler, latency: int = 10) -> None:
+        self.scheduler = scheduler
+        self.latency = latency
+        self.accesses: List[Tuple[int, bool]] = []
+        self.issue_cycles: List[int] = []
+
+    def access(self, addr: int, is_write: bool,
+               on_complete: Optional[Callable[[], None]],
+               pc: int = 0) -> None:
+        self.accesses.append((addr, is_write))
+        self.issue_cycles.append(self.scheduler.now)
+        if on_complete is not None:
+            self.scheduler.after(self.latency, on_complete)
+
+
+def _run(scheduler: Scheduler, cores: List[Core],
+         limit: int = 100000) -> None:
+    for core in cores:
+        core.start()
+    cycle = 0
+    while not all(core.finished for core in cores):
+        nxt = scheduler.next_event_cycle()
+        assert nxt is not None, "cores hung"
+        cycle = max(cycle + 1, nxt)
+        assert cycle < limit
+        scheduler.run_due(cycle)
+
+
+class TestIssueAndRetire:
+    def test_executes_whole_trace(self) -> None:
+        scheduler = Scheduler()
+        cache = FakeCache(scheduler)
+        trace = [MemAccess(addr=i * 64) for i in range(20)]
+        core = Core(0, CoreParams(), scheduler, cache, trace)
+        _run(scheduler, [core])
+        assert len(cache.accesses) == 20
+        assert core.finish_cycle is not None
+
+    def test_window_limits_outstanding(self) -> None:
+        scheduler = Scheduler()
+        cache = FakeCache(scheduler, latency=100)
+        trace = [MemAccess(addr=i * 64) for i in range(8)]
+        core = Core(0, CoreParams(max_outstanding=2), scheduler, cache,
+                    trace)
+        _run(scheduler, [core])
+        # With a window of 2 and 100-cycle misses, issues pace at ~2 per
+        # 100 cycles: the 8th access cannot start before cycle 300.
+        assert cache.issue_cycles[-1] >= 300
+
+    def test_wide_window_overlaps_misses(self) -> None:
+        def finish(window: int) -> int:
+            scheduler = Scheduler()
+            cache = FakeCache(scheduler, latency=100)
+            trace = [MemAccess(addr=i * 64) for i in range(16)]
+            core = Core(0, CoreParams(max_outstanding=window), scheduler,
+                        cache, trace)
+            _run(scheduler, [core])
+            return core.finish_cycle
+
+        assert finish(16) < finish(1)
+
+    def test_work_gaps_pace_issue(self) -> None:
+        scheduler = Scheduler()
+        cache = FakeCache(scheduler, latency=1)
+        trace = [MemAccess(addr=i * 64, work=50) for i in range(4)]
+        core = Core(0, CoreParams(), scheduler, cache, trace)
+        _run(scheduler, [core])
+        gaps = [b - a for a, b in zip(cache.issue_cycles,
+                                      cache.issue_cycles[1:])]
+        assert all(gap >= 50 for gap in gaps)
+
+    def test_instruction_counting(self) -> None:
+        scheduler = Scheduler()
+        cache = FakeCache(scheduler)
+        trace = [MemAccess(addr=0, work=9), MemAccess(addr=64, insts=100)]
+        core = Core(0, CoreParams(), scheduler, cache, trace)
+        _run(scheduler, [core])
+        assert core.instructions == 10 + 100
+
+
+class TestBarriers:
+    def test_all_cores_wait_for_slowest(self) -> None:
+        scheduler = Scheduler()
+        barrier = Barrier(2)
+        caches = [FakeCache(scheduler), FakeCache(scheduler)]
+
+        def trace(work: int):
+            yield MemAccess(addr=0, work=work)
+            yield BARRIER
+            yield MemAccess(addr=64)
+
+        fast = Core(0, CoreParams(), scheduler, caches[0], trace(0),
+                    barrier)
+        slow = Core(1, CoreParams(), scheduler, caches[1], trace(500),
+                    barrier)
+        _run(scheduler, [fast, slow])
+        # The fast core's post-barrier access must come after the slow
+        # core reached the barrier.
+        assert caches[0].issue_cycles[1] >= 500
+
+    def test_barrier_drains_outstanding_first(self) -> None:
+        scheduler = Scheduler()
+        barrier = Barrier(1)
+        cache = FakeCache(scheduler, latency=200)
+
+        def trace():
+            yield MemAccess(addr=0)
+            yield BARRIER
+            yield MemAccess(addr=64)
+
+        core = Core(0, CoreParams(), scheduler, cache, trace(), barrier)
+        _run(scheduler, [core])
+        assert cache.issue_cycles[1] >= 200
+
+    def test_repeated_barriers(self) -> None:
+        scheduler = Scheduler()
+        barrier = Barrier(2)
+        caches = [FakeCache(scheduler), FakeCache(scheduler)]
+
+        def trace():
+            for i in range(3):
+                yield MemAccess(addr=i * 64)
+                yield BARRIER
+
+        cores = [Core(i, CoreParams(), scheduler, caches[i], trace(),
+                      barrier) for i in range(2)]
+        _run(scheduler, cores)
+        assert all(core.finished for core in cores)
+        assert all(core.stats.get("barriers") == 3 for core in cores)
+
+
+class TestStats:
+    def test_finish_cycle_recorded(self) -> None:
+        scheduler = Scheduler()
+        cache = FakeCache(scheduler)
+        core = Core(0, CoreParams(), scheduler, cache,
+                    [MemAccess(addr=0)])
+        _run(scheduler, [core])
+        assert core.stats.get("finish_cycle") == core.finish_cycle
+        assert core.stats.get("accesses") == 1

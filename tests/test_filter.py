@@ -1,0 +1,170 @@
+"""Tests for the coherent in-network filter (paper §III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import NoCParams
+from repro.common.scheduler import Scheduler
+from repro.noc.filter import InNetworkFilter, filter_area_overhead
+from repro.noc.network import Network
+from tests.conftest import drain
+
+
+class TestFilterTable:
+    def test_register_then_match(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        filt.register(uid=1, line_addr=0xbeef, dests=(0, 2, 4, 7))
+        assert filt.matches(0xbeef, requester=7)
+        assert filt.matches(0xbeef, requester=0)
+
+    def test_no_match_for_non_destination(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        filt.register(uid=1, line_addr=0xbeef, dests=(0, 2))
+        assert not filt.matches(0xbeef, requester=7)
+
+    def test_no_match_for_other_line(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        filt.register(uid=1, line_addr=0xbeef, dests=(0, 2))
+        assert not filt.matches(0xdead, requester=0)
+
+    def test_deregister_removes_entry(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        filt.register(uid=1, line_addr=0xbeef, dests=(0, 2))
+        filt.deregister(uid=1, line_addr=0xbeef)
+        assert not filt.matches(0xbeef, requester=0)
+        assert len(filt) == 0
+
+    def test_deregister_is_uid_specific(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        filt.register(uid=1, line_addr=0xbeef, dests=(0,))
+        filt.register(uid=2, line_addr=0xbeef, dests=(2,))
+        filt.deregister(uid=1, line_addr=0xbeef)
+        assert not filt.matches(0xbeef, requester=0)
+        assert filt.matches(0xbeef, requester=2)
+
+    def test_deregister_unknown_is_noop(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        filt.deregister(uid=9, line_addr=0x1)
+        assert len(filt) == 0
+
+    def test_capacity_overflow_raises(self) -> None:
+        filt = InNetworkFilter(capacity=2)
+        filt.register(1, 0x1, (0,))
+        filt.register(2, 0x2, (0,))
+        with pytest.raises(SimulationError):
+            filt.register(3, 0x3, (0,))
+
+    def test_has_line_tracks_any_entry(self) -> None:
+        filt = InNetworkFilter(capacity=4)
+        assert not filt.has_line(0x5)
+        filt.register(1, 0x5, (3,))
+        assert filt.has_line(0x5)
+
+
+class TestInNetworkFiltering:
+    """End-to-end: a push prunes a crossing read request."""
+
+    def _network(self) -> Network:
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=4, cols=4), scheduler,
+                      filter_enabled=True)
+        for tile in range(16):
+            net.interfaces[tile].eject_hook = lambda m: None
+        return net
+
+    def test_crossing_request_is_filtered(self) -> None:
+        net = self._network()
+        home, sharer = 5, 7
+        home_inbox = []
+        net.interfaces[home].eject_hook = home_inbox.append
+        sharer_inbox = []
+        net.interfaces[sharer].eject_hook = sharer_inbox.append
+
+        net.send(CoherenceMsg(MsgType.PUSH, 0xbeef, home, (0, 2, 4, sharer)))
+        net.send(CoherenceMsg(MsgType.GETS, 0xbeef, sharer, (home,)))
+        drain(net)
+
+        assert net.stats.get("requests_filtered") == 1
+        assert not home_inbox, "filtered GETS must never reach the home"
+        assert len(sharer_inbox) == 1
+        assert sharer_inbox[0].msg_type is MsgType.PUSH
+
+    def test_request_from_non_destination_passes(self) -> None:
+        net = self._network()
+        home, other = 5, 7
+        home_inbox = []
+        net.interfaces[home].eject_hook = home_inbox.append
+
+        net.send(CoherenceMsg(MsgType.PUSH, 0xbeef, home, (0, 2, 4)))
+        net.send(CoherenceMsg(MsgType.GETS, 0xbeef, other, (home,)))
+        drain(net)
+
+        assert net.stats.get("requests_filtered") == 0
+        assert len(home_inbox) == 1
+
+    def test_different_line_request_passes(self) -> None:
+        net = self._network()
+        home, sharer = 5, 7
+        home_inbox = []
+        net.interfaces[home].eject_hook = home_inbox.append
+
+        net.send(CoherenceMsg(MsgType.PUSH, 0xbeef, home, (sharer,)))
+        net.send(CoherenceMsg(MsgType.GETS, 0xcafe, sharer, (home,)))
+        drain(net)
+
+        assert net.stats.get("requests_filtered") == 0
+        assert len(home_inbox) == 1
+
+    def test_filtered_hook_reports_the_request(self) -> None:
+        net = self._network()
+        home, sharer = 5, 7
+        filtered = []
+        net.request_filtered_hook = filtered.append
+
+        net.send(CoherenceMsg(MsgType.PUSH, 0xbeef, home, (sharer,)))
+        net.send(CoherenceMsg(MsgType.GETS, 0xbeef, sharer, (home,)))
+        drain(net)
+
+        assert len(filtered) == 1
+        assert filtered[0].src == sharer
+        assert filtered[0].line_addr == 0xbeef
+
+    def test_filters_cleared_after_push_leaves(self) -> None:
+        net = self._network()
+        home, sharer = 5, 7
+        net.send(CoherenceMsg(MsgType.PUSH, 0xbeef, home, (sharer,)))
+        drain(net)
+        for router in net.routers:
+            for out in router.output_ports:
+                if out is not None:
+                    assert len(out.filter) == 0
+
+    def test_late_request_not_filtered(self) -> None:
+        """A request issued after the push has drained must reach home."""
+        net = self._network()
+        home, sharer = 5, 7
+        home_inbox = []
+        net.interfaces[home].eject_hook = home_inbox.append
+
+        net.send(CoherenceMsg(MsgType.PUSH, 0xbeef, home, (sharer,)))
+        drain(net)
+        net.send(CoherenceMsg(MsgType.GETS, 0xbeef, sharer, (home,)))
+        drain(net)
+
+        assert len(home_inbox) == 1
+        assert net.stats.get("requests_filtered") == 0
+
+
+class TestAreaModel:
+    def test_area_model_matches_paper_sizing(self) -> None:
+        area = filter_area_overhead(ports=5, data_vcs_per_port=4)
+        assert area["filters"] == 20
+        assert area["entries_total"] == 80
+        assert area["router_area_overhead"] == pytest.approx(0.163)
+        overhead_parts = (area["combinational_overhead"]
+                          + area["buffer_overhead"]
+                          + area["other_noncomb_overhead"])
+        assert overhead_parts == pytest.approx(0.163, abs=0.001)

@@ -1,0 +1,212 @@
+"""LLC slice / directory protocol unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.cache.coherence import DirState
+from tests.harness import ControllerHarness, getm, gets
+
+
+def _prepared(h: ControllerHarness, llc, line: int) -> None:
+    """Make a line LLC-resident (drive the memory fill + unblock)."""
+    llc.deliver(gets(line, src=1))
+    h.settle()
+    reads = h.take(MsgType.MEM_READ)
+    assert len(reads) == 1
+    llc.deliver(CoherenceMsg(MsgType.MEM_DATA, line, 0, (0,)))
+    h.settle()
+    # Play the requester's part of the exclusive-grant handshake.
+    llc.deliver(CoherenceMsg(MsgType.UNBLOCK, line, 1, (0,)))
+    h.settle()
+
+
+class TestFillPath:
+    def test_miss_fetches_from_memory_once(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        llc.deliver(gets(0x10, src=1))
+        llc.deliver(gets(0x10, src=2))
+        h.settle()
+        assert len(h.take(MsgType.MEM_READ)) == 1
+
+    def test_fill_serves_queued_requests(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        llc.deliver(gets(0x10, src=1))
+        llc.deliver(gets(0x10, src=2))
+        h.settle()
+        h.take()
+        llc.deliver(CoherenceMsg(MsgType.MEM_DATA, 0x10, 0, (0,)))
+        h.settle()
+        # First reader granted exclusive; the queued second reader
+        # forces a downgrade of that owner before its shared reply.
+        grants = h.take(MsgType.DATA_E)
+        assert len(grants) == 1 and grants[0].dests == (1,)
+        llc.deliver(CoherenceMsg(MsgType.UNBLOCK, 0x10, 1, (0,)))
+        h.settle()
+        assert len(h.take(MsgType.DOWNGRADE)) == 1
+        llc.deliver(CoherenceMsg(MsgType.INV_ACK, 0x10, 1, (0,)))
+        h.settle()
+        replies = h.take(MsgType.DATA_S)
+        assert len(replies) == 1 and replies[0].dests == (2,)
+
+
+class TestReadFlows:
+    def test_first_reader_granted_exclusive(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x20)
+        grants = h.take(MsgType.DATA_E)
+        assert len(grants) == 1 and grants[0].dests == (1,)
+        entry = llc.directory_entry(0x20)
+        assert entry.state is DirState.EM and entry.owner == 1
+
+    def test_second_reader_triggers_downgrade(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x20)
+        h.take()
+        llc.deliver(gets(0x20, src=2))
+        h.settle()
+        downgrades = h.take(MsgType.DOWNGRADE)
+        assert len(downgrades) == 1 and downgrades[0].dests == (1,)
+        # Owner acks clean; both become sharers.
+        llc.deliver(CoherenceMsg(MsgType.INV_ACK, 0x20, 1, (0,)))
+        h.settle()
+        replies = h.take(MsgType.DATA_S)
+        assert len(replies) == 1 and replies[0].dests == (2,)
+        entry = llc.directory_entry(0x20)
+        assert entry.state is DirState.S and entry.sharers == {1, 2}
+
+    def test_owner_rereading_gets_exclusive_again(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x20)
+        h.take()
+        llc.deliver(gets(0x20, src=1))  # silently evicted, re-reads
+        h.settle()
+        assert len(h.take(MsgType.DATA_E)) == 1
+
+
+class TestWriteFlows:
+    def _shared_by(self, h, llc, line, sharers) -> None:
+        _prepared(h, llc, line)
+        llc.deliver(CoherenceMsg(MsgType.INV_ACK, line, 1, (0,)))
+        for src in sharers:
+            if src == 1:
+                continue
+            llc.deliver(gets(line, src=src))
+        h.settle()
+        # resolve the downgrade chain for the first extra sharer
+        entry = llc.directory_entry(line)
+        if entry.awaiting:
+            for tile in list(entry.awaiting):
+                llc.deliver(CoherenceMsg(MsgType.INV_ACK, line, tile,
+                                         (0,)))
+            h.settle()
+        h.take()
+
+    def test_write_invalidates_sharers_then_grants(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x30)
+        llc.deliver(gets(0x30, src=2))
+        h.settle()
+        llc.deliver(CoherenceMsg(MsgType.INV_ACK, 0x30, 1, (0,)))
+        h.settle()
+        h.take()
+        # Sharers are now {1, 2}; core 3 writes.
+        llc.deliver(getm(0x30, src=3))
+        h.settle()
+        invs = h.take(MsgType.INV)
+        assert {i.dests[0] for i in invs} == {1, 2}
+        assert h.take(MsgType.DATA_E) == []  # blocked on acks
+        for tile in (1, 2):
+            llc.deliver(CoherenceMsg(MsgType.INV_ACK, 0x30, tile, (0,)))
+        h.settle()
+        grants = h.take(MsgType.DATA_E)
+        assert len(grants) == 1 and grants[0].dests == (3,)
+        entry = llc.directory_entry(0x30)
+        assert entry.state is DirState.EM and entry.owner == 3
+
+    def test_version_bumps_on_exclusive_grant(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x30)
+        first = h.take(MsgType.DATA_E)[0].payload
+        llc.deliver(getm(0x30, src=1))
+        h.settle()
+        second = h.take(MsgType.DATA_E)[0].payload
+        assert second > first
+
+    def test_recall_of_dirty_owner_collects_putm(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x40)
+        h.take()
+        llc.deliver(getm(0x40, src=2))
+        h.settle()
+        invs = h.take(MsgType.INV)
+        assert len(invs) == 1 and invs[0].dests == (1,)
+        llc.deliver(CoherenceMsg(MsgType.PUTM, 0x40, 1, (0,), payload=9))
+        h.settle()
+        grants = h.take(MsgType.DATA_E)
+        assert len(grants) == 1 and grants[0].dests == (2,)
+
+    def test_spontaneous_putm_clears_owner(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x50)
+        h.take()
+        llc.deliver(CoherenceMsg(MsgType.PUTM, 0x50, 1, (0,), payload=7))
+        h.settle()
+        entry = llc.directory_entry(0x50)
+        assert entry.owner is None and entry.state is DirState.I
+        assert h.versions[0x50] >= 7
+
+    def test_putm_for_unknown_line_forwards_to_memory(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        llc.deliver(CoherenceMsg(MsgType.PUTM, 0x77, 1, (0,), payload=4))
+        h.settle()
+        assert len(h.take(MsgType.MEM_WB)) == 1
+        assert h.versions[0x77] == 4
+
+
+class TestSerialization:
+    def test_requests_queue_behind_busy_line(self) -> None:
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x60)
+        h.take()
+        llc.deliver(getm(0x60, src=2))   # recall in flight -> busy
+        h.settle()
+        llc.deliver(gets(0x60, src=3))   # must wait
+        h.settle()
+        assert h.take(MsgType.DATA_S) == []
+        llc.deliver(CoherenceMsg(MsgType.INV_ACK, 0x60, 1, (0,)))
+        h.settle()
+        # GETM granted; the queued GETS waits for the grant handshake,
+        # then forces a downgrade of the new owner.
+        assert len(h.take(MsgType.DATA_E)) == 1
+        llc.deliver(CoherenceMsg(MsgType.UNBLOCK, 0x60, 2, (0,)))
+        h.settle()
+        assert len(h.take(MsgType.DOWNGRADE)) == 1
+
+    def test_downgrade_putm_race_completes(self) -> None:
+        """A spontaneous dirty writeback crossing a DOWNGRADE must
+        satisfy the downgrade (the regression behind the original
+        deadlock fix)."""
+        h = ControllerHarness()
+        llc = h.make_llc()
+        _prepared(h, llc, 0x70)
+        h.take()
+        llc.deliver(gets(0x70, src=2))   # DOWNGRADE sent to owner 1
+        h.settle()
+        llc.deliver(CoherenceMsg(MsgType.PUTM, 0x70, 1, (0,), payload=3))
+        h.settle()
+        replies = h.take(MsgType.DATA_S)
+        assert len(replies) == 1 and replies[0].dests == (2,)
+        assert not llc.directory_entry(0x70).busy

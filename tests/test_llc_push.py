@@ -1,0 +1,251 @@
+"""LLC push triggering, PushAck P state, resume knob, baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.cache.coherence import DirState
+from tests.harness import ControllerHarness, getm, gets
+
+
+def _shared_line(h: ControllerHarness, llc, line: int,
+                 sharers=(1, 2, 3)) -> None:
+    """Bring a line to state S with the given sharer set."""
+    llc.deliver(gets(line, src=sharers[0]))
+    h.settle()
+    llc.deliver(CoherenceMsg(MsgType.MEM_DATA, line, 0, (0,)))
+    h.settle()
+    llc.deliver(CoherenceMsg(MsgType.UNBLOCK, line, sharers[0], (0,)))
+    h.settle()
+    for src in sharers[1:]:
+        llc.deliver(gets(line, src=src))
+        h.settle()
+        entry = llc.directory_entry(line)
+        for tile in list(entry.awaiting):
+            llc.deliver(CoherenceMsg(MsgType.INV_ACK, line, tile, (0,)))
+        h.settle()
+    h.take()
+    assert llc.directory_entry(line).sharers >= set(sharers)
+
+
+class TestPushTrigger:
+    def test_new_sharer_gets_unicast(self) -> None:
+        """Sharer-establishing phase: no pushes for first-time readers."""
+        h = ControllerHarness(config="ordpush")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x10, sharers=(1, 2))
+        llc.deliver(gets(0x10, src=5))
+        h.settle()
+        assert len(h.take(MsgType.DATA_S)) == 1
+        assert h.take(MsgType.PUSH) == []
+
+    def test_rereference_triggers_multicast_push(self) -> None:
+        h = ControllerHarness(config="ordpush")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x10, sharers=(1, 2, 3))
+        llc.deliver(gets(0x10, src=2))  # existing sharer re-references
+        h.settle()
+        pushes = h.take(MsgType.PUSH)
+        assert len(pushes) == 1
+        assert set(pushes[0].dests) == {1, 2, 3}
+        assert h.take(MsgType.DATA_S) == []
+
+    def test_prefetch_gets_never_pushes(self) -> None:
+        h = ControllerHarness(config="ordpush")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x10, sharers=(1, 2))
+        msg = gets(0x10, src=2)
+        msg.is_prefetch = True
+        llc.deliver(msg)
+        h.settle()
+        assert h.take(MsgType.PUSH) == []
+        assert len(h.take(MsgType.DATA_S)) == 1
+
+    def test_unicast_mode_sends_separate_pushes(self) -> None:
+        """Ablation 'push only': one unicast push per destination."""
+        h = ControllerHarness(config="push_only")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x10, sharers=(1, 2, 3))
+        llc.deliver(gets(0x10, src=2))
+        h.settle()
+        pushes = h.take(MsgType.PUSH)
+        assert len(pushes) == 3
+        assert all(len(p.dests) == 1 for p in pushes)
+
+    def test_shadow_filters_immediate_followup(self) -> None:
+        h = ControllerHarness(config="ordpush")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x10, sharers=(1, 2, 3))
+        llc.deliver(gets(0x10, src=2))
+        h.settle(cycles=25)  # stay inside the shadow window
+        h.take()
+        llc.deliver(gets(0x10, src=3))  # covered by the in-flight push
+        h.settle(cycles=25)
+        assert h.take() == []
+        assert llc.stats.get("gets_shadow_filtered") == 1
+
+    def test_shadow_expires(self) -> None:
+        h = ControllerHarness(config="ordpush")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x10, sharers=(1, 2, 3))
+        llc.deliver(gets(0x10, src=2))
+        h.settle()  # far beyond the shadow window
+        h.take()
+        llc.deliver(gets(0x10, src=3))
+        h.settle()
+        assert len(h.take(MsgType.PUSH)) == 1  # re-push, not filtered
+
+
+class TestPushAckProtocol:
+    def test_push_enters_p_state_and_blocks_writes(self) -> None:
+        h = ControllerHarness(config="pushack")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x20, sharers=(1, 2))
+        llc.deliver(gets(0x20, src=2))
+        h.settle()
+        pushes = h.take(MsgType.PUSH)
+        assert len(pushes) == 1 and pushes[0].ack_required
+        entry = llc.directory_entry(0x20)
+        assert entry.state is DirState.P
+        llc.deliver(getm(0x20, src=3))
+        h.settle()
+        assert h.take(MsgType.INV) == []  # semi-blocking: write waits
+
+    def test_p_state_serves_reads_with_unicast(self) -> None:
+        h = ControllerHarness(config="pushack")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x20, sharers=(1, 2))
+        llc.deliver(gets(0x20, src=2))
+        h.settle()
+        h.take()
+        llc.deliver(gets(0x20, src=5))  # new sharer during P
+        h.settle()
+        assert len(h.take(MsgType.DATA_S)) == 1
+        assert h.take(MsgType.PUSH) == []
+
+    def test_acks_resolve_p_and_release_writes(self) -> None:
+        h = ControllerHarness(config="pushack")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x20, sharers=(1, 2))
+        llc.deliver(gets(0x20, src=2))
+        h.settle()
+        llc.deliver(getm(0x20, src=3))
+        h.settle()
+        h.take()
+        for tile in (1, 2):
+            llc.deliver(CoherenceMsg(MsgType.PUSH_ACK, 0x20, tile, (0,)))
+        h.settle()
+        # P resolved back to S; queued GETM proceeds with invalidations.
+        invs = h.take(MsgType.INV)
+        assert {i.dests[0] for i in invs} == {1, 2}
+
+
+class TestMSPBaseline:
+    def test_msp_unicast_pushes_and_demand_reply(self) -> None:
+        h = ControllerHarness(config="msp")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x30, sharers=(1, 2, 3))
+        llc.deliver(gets(0x30, src=2))
+        h.settle()
+        assert len(h.take(MsgType.DATA_S)) == 1  # demand requester
+        pushes = h.take(MsgType.PUSH)
+        assert len(pushes) == 2  # other sharers, unicast each
+        assert all(len(p.dests) == 1 for p in pushes)
+        assert all(p.ack_required for p in pushes)
+
+
+class TestCoalesceBaseline:
+    def test_concurrent_reads_merge_into_one_multicast(self) -> None:
+        h = ControllerHarness(config="coalesce")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x40, sharers=(1, 2))
+        llc.deliver(gets(0x40, src=3))
+        llc.deliver(gets(0x40, src=4))  # lands in the lookup window
+        llc.deliver(gets(0x40, src=5))
+        h.settle()
+        replies = h.take(MsgType.DATA_S)
+        assert len(replies) == 1
+        assert set(replies[0].dests) == {3, 4, 5}
+        assert llc.stats.get("coalesced_requests") == 2
+
+    def test_spread_reads_do_not_merge(self) -> None:
+        h = ControllerHarness(config="coalesce")
+        llc = h.make_llc()
+        _shared_line(h, llc, 0x40, sharers=(1, 2))
+        llc.deliver(gets(0x40, src=3))
+        h.settle()
+        llc.deliver(gets(0x40, src=4))
+        h.settle()
+        replies = h.take(MsgType.DATA_S)
+        assert len(replies) == 2
+        assert all(len(r.dests) == 1 for r in replies)
+
+    def test_concurrent_cold_reads_merge_after_fill(self) -> None:
+        h = ControllerHarness(config="coalesce")
+        llc = h.make_llc()
+        llc.deliver(gets(0x50, src=1))
+        llc.deliver(gets(0x50, src=2))
+        llc.deliver(gets(0x50, src=3))
+        h.settle()
+        llc.deliver(CoherenceMsg(MsgType.MEM_DATA, 0x50, 0, (0,)))
+        h.settle()
+        replies = h.take(MsgType.DATA_S)
+        assert len(replies) == 1
+        assert set(replies[0].dests) == {1, 2, 3}
+
+
+class TestResumeKnob:
+    def _llc(self, window: int = 1000):
+        h = ControllerHarness(config="ordpush", time_window=window)
+        return h, h.make_llc()
+
+    def test_need_push_false_joins_pdrmap(self) -> None:
+        h, llc = self._llc()
+        _shared_line(h, llc, 0x60, sharers=(1, 2, 3))
+        llc.deliver(gets(0x60, src=3, need_push=False))
+        h.settle()
+        assert 3 in llc.pdrmap
+
+    def test_paused_sharer_excluded_from_push(self) -> None:
+        h, llc = self._llc()
+        _shared_line(h, llc, 0x60, sharers=(1, 2, 3))
+        llc.deliver(gets(0x60, src=3, need_push=False))
+        h.settle()
+        h.take()
+        llc.deliver(gets(0x60, src=2))
+        h.settle()
+        pushes = h.take(MsgType.PUSH)
+        assert len(pushes) == 1
+        assert 3 not in pushes[0].dests
+        assert set(pushes[0].dests) == {1, 2}
+
+    def test_demand_requester_always_served_even_if_paused(self) -> None:
+        h, llc = self._llc()
+        _shared_line(h, llc, 0x60, sharers=(1, 2, 3))
+        llc.deliver(gets(0x60, src=2, need_push=False))
+        h.settle()
+        h.take()
+        llc.deliver(gets(0x60, src=2, need_push=False))
+        h.settle()
+        pushes = h.take(MsgType.PUSH)
+        assert len(pushes) == 1 and 2 in pushes[0].dests
+
+    def test_resume_phase_sets_reset_flag_and_clears_map(self) -> None:
+        h, llc = self._llc(window=100)
+        _shared_line(h, llc, 0x60, sharers=(1, 2, 3))
+        llc.deliver(gets(0x60, src=3, need_push=False))
+        h.settle()
+        assert 3 in llc.pdrmap
+        # Advance into a Resume phase (odd window).
+        target = (h.scheduler.now // 100 + 1) * 100 + 10
+        h.scheduler.run_due(target)
+        assert llc._phase_is_resume() or h.scheduler.run_due(target + 100) is None
+        while not llc._phase_is_resume():
+            h.scheduler.run_due(h.scheduler.now + 100)
+        llc.deliver(gets(0x60, src=3, need_push=False))
+        h.settle()
+        replies = [m for m in h.take()
+                   if m.msg_type in (MsgType.DATA_S, MsgType.PUSH)]
+        assert any(m.reset_push_counters for m in replies)
+        assert 3 not in llc.pdrmap

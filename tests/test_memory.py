@@ -1,0 +1,73 @@
+"""Memory controller model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import MemoryParams
+from repro.common.scheduler import Scheduler
+from repro.cache.memory import MemoryController
+
+
+def _read(line: int, requester: int = 5) -> CoherenceMsg:
+    return CoherenceMsg(MsgType.MEM_READ, line, requester, (0,),
+                        requester=requester)
+
+
+class TestMemoryController:
+    def _make(self, **kwargs):
+        scheduler = Scheduler()
+        replies = []
+        ctrl = MemoryController(0, MemoryParams(**kwargs), scheduler,
+                                replies.append)
+        return scheduler, replies, ctrl
+
+    def test_read_produces_fill_after_latency(self) -> None:
+        scheduler, replies, ctrl = self._make(latency=100)
+        ctrl.deliver(_read(0x10))
+        scheduler.run_due(99)
+        assert not replies
+        scheduler.run_due(100)
+        assert len(replies) == 1
+        reply = replies[0]
+        assert reply.msg_type is MsgType.MEM_DATA
+        assert reply.dests == (5,)
+        assert reply.line_addr == 0x10
+
+    def test_bandwidth_spaces_service(self) -> None:
+        scheduler, replies, ctrl = self._make(
+            latency=10, bandwidth_lines_per_cycle=0.1)
+        for i in range(4):
+            ctrl.deliver(_read(i))
+        scheduler.run_due(10)
+        assert len(replies) == 1   # one line every 10 cycles
+        scheduler.run_due(20)
+        assert len(replies) == 2
+        scheduler.run_due(40)
+        assert len(replies) == 4
+
+    def test_writeback_consumes_bandwidth_silently(self) -> None:
+        scheduler, replies, ctrl = self._make(
+            latency=10, bandwidth_lines_per_cycle=0.1)
+        ctrl.deliver(CoherenceMsg(MsgType.MEM_WB, 0x1, 3, (0,)))
+        ctrl.deliver(_read(0x2))
+        scheduler.run_due(100)
+        assert len(replies) == 1
+        # The read was queued behind the writeback's service slot.
+        assert ctrl.stats.get("writebacks") == 1
+
+    def test_rejects_foreign_messages(self) -> None:
+        _, _, ctrl = self._make()
+        with pytest.raises(ProtocolError):
+            ctrl.deliver(CoherenceMsg(MsgType.GETS, 0x1, 0, (0,)))
+
+    def test_idle_controller_has_no_backlog_penalty(self) -> None:
+        scheduler, replies, ctrl = self._make(
+            latency=10, bandwidth_lines_per_cycle=0.1)
+        ctrl.deliver(_read(0x1))
+        scheduler.run_due(500)
+        ctrl.deliver(_read(0x2))
+        scheduler.run_due(510)
+        assert len(replies) == 2

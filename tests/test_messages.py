@@ -1,0 +1,88 @@
+"""Message vocabulary tests: vnet assignment and traffic classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.messages import (
+    CoherenceMsg,
+    MsgType,
+    TrafficClass,
+    traffic_class_of,
+)
+
+
+class TestVnetAssignment:
+    @pytest.mark.parametrize("msg_type", [MsgType.GETS, MsgType.GETM,
+                                          MsgType.MEM_READ])
+    def test_requests_on_vnet0(self, msg_type: MsgType) -> None:
+        assert CoherenceMsg(msg_type, 0x1, 0, (1,)).vnet == 0
+
+    @pytest.mark.parametrize("msg_type", [MsgType.DATA_S, MsgType.DATA_E,
+                                          MsgType.PUSH, MsgType.PUTM,
+                                          MsgType.MEM_DATA, MsgType.MEM_WB])
+    def test_data_on_vnet1(self, msg_type: MsgType) -> None:
+        assert CoherenceMsg(msg_type, 0x1, 0, (1,)).vnet == 1
+
+    @pytest.mark.parametrize("msg_type", [MsgType.INV, MsgType.INV_ACK,
+                                          MsgType.PUSH_ACK, MsgType.WB_ACK,
+                                          MsgType.DOWNGRADE])
+    def test_control_on_vnet2(self, msg_type: MsgType) -> None:
+        assert CoherenceMsg(msg_type, 0x1, 0, (1,)).vnet == 2
+
+    def test_pushes_and_invs_in_separate_vnets(self) -> None:
+        """Separate vnets make the OrdPush ordering deadlock-free."""
+        push = CoherenceMsg(MsgType.PUSH, 0x1, 0, (1,))
+        inv = CoherenceMsg(MsgType.INV, 0x1, 0, (1,))
+        assert push.vnet != inv.vnet
+
+
+class TestDataSizeClass:
+    def test_data_types_carry_data(self) -> None:
+        assert CoherenceMsg(MsgType.PUSH, 0x1, 0, (1,)).carries_data
+        assert CoherenceMsg(MsgType.PUTM, 0x1, 0, (1,)).carries_data
+
+    def test_control_types_do_not(self) -> None:
+        assert not CoherenceMsg(MsgType.GETS, 0x1, 0, (1,)).carries_data
+        assert not CoherenceMsg(MsgType.PUSH_ACK, 0x1, 0, (1,)).carries_data
+
+
+class TestTrafficClasses:
+    def test_read_shared_covers_data_s_and_push(self) -> None:
+        assert traffic_class_of(MsgType.DATA_S) is (
+            TrafficClass.READ_SHARED_DATA)
+        assert traffic_class_of(MsgType.PUSH) is (
+            TrafficClass.READ_SHARED_DATA)
+
+    def test_read_request(self) -> None:
+        assert traffic_class_of(MsgType.GETS) is TrafficClass.READ_REQUEST
+
+    def test_exclusive(self) -> None:
+        assert traffic_class_of(MsgType.DATA_E) is (
+            TrafficClass.EXCLUSIVE_DATA)
+
+    def test_writeback_covers_putm_and_mem_wb(self) -> None:
+        assert traffic_class_of(MsgType.PUTM) is (
+            TrafficClass.WRITEBACK_DATA)
+        assert traffic_class_of(MsgType.MEM_WB) is (
+            TrafficClass.WRITEBACK_DATA)
+
+    def test_push_ack_is_its_own_class(self) -> None:
+        assert traffic_class_of(MsgType.PUSH_ACK) is TrafficClass.PUSH_ACK
+
+    def test_everything_else_is_other(self) -> None:
+        for msg_type in (MsgType.GETM, MsgType.INV, MsgType.INV_ACK,
+                         MsgType.MEM_READ, MsgType.MEM_DATA,
+                         MsgType.DOWNGRADE, MsgType.WB_ACK):
+            assert traffic_class_of(msg_type) is TrafficClass.OTHER
+
+
+class TestMsgIdentity:
+    def test_uids_are_unique(self) -> None:
+        a = CoherenceMsg(MsgType.GETS, 0x1, 0, (1,))
+        b = CoherenceMsg(MsgType.GETS, 0x1, 0, (1,))
+        assert a.uid != b.uid
+
+    def test_repr_mentions_line_and_type(self) -> None:
+        msg = CoherenceMsg(MsgType.PUSH, 0xbeef, 3, (0, 2))
+        assert "PUSH" in repr(msg) and "beef" in repr(msg)

@@ -1,0 +1,65 @@
+"""MSHR file tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.messages import MsgType
+from repro.cache.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_allocate_and_get(self) -> None:
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x10, MsgType.GETS, issued_at=5)
+        assert mshrs.get(0x10) is entry
+        assert entry.issued_at == 5
+
+    def test_get_missing_is_none(self) -> None:
+        assert MSHRFile(4).get(0x10) is None
+
+    def test_capacity_enforced(self) -> None:
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x1, MsgType.GETS, 0)
+        mshrs.allocate(0x2, MsgType.GETS, 0)
+        assert mshrs.full
+        with pytest.raises(IndexError):
+            mshrs.allocate(0x3, MsgType.GETS, 0)
+
+    def test_double_allocate_same_line_raises(self) -> None:
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1, MsgType.GETS, 0)
+        with pytest.raises(KeyError):
+            mshrs.allocate(0x1, MsgType.GETM, 0)
+
+    def test_release_frees_capacity(self) -> None:
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x1, MsgType.GETS, 0)
+        mshrs.release(0x1)
+        assert not mshrs.full
+        mshrs.allocate(0x2, MsgType.GETS, 0)
+
+    def test_waiters_complete_in_order(self) -> None:
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1, MsgType.GETS, 0)
+        log = []
+        entry.add_waiter(lambda: log.append("a"))
+        entry.add_waiter(lambda: log.append("b"))
+        entry.complete()
+        assert log == ["a", "b"]
+
+    def test_complete_clears_waiters(self) -> None:
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1, MsgType.GETS, 0)
+        count = []
+        entry.add_waiter(lambda: count.append(1))
+        entry.complete()
+        entry.complete()
+        assert len(count) == 1
+
+    def test_outstanding_lists_entries(self) -> None:
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1, MsgType.GETS, 0)
+        mshrs.allocate(0x2, MsgType.GETM, 0)
+        lines = {entry.line_addr for entry in mshrs.outstanding()}
+        assert lines == {0x1, 0x2}

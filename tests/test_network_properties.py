@@ -1,0 +1,79 @@
+"""Property-based network tests: delivery completeness and conservation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import NoCParams
+from repro.common.scheduler import Scheduler
+from repro.noc.network import Network
+from tests.conftest import drain
+
+_DELIVERABLE = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),          # src
+        st.integers(min_value=0, max_value=15),          # dest
+        st.sampled_from([MsgType.GETS, MsgType.GETM, MsgType.DATA_S,
+                         MsgType.DATA_E, MsgType.INV, MsgType.INV_ACK,
+                         MsgType.PUTM]),
+        st.integers(min_value=0, max_value=255),         # line
+    ),
+    min_size=1, max_size=60)
+
+
+class TestDeliveryCompleteness:
+    @settings(max_examples=30, deadline=None)
+    @given(_DELIVERABLE)
+    def test_every_packet_delivered_exactly_once(self, sends) -> None:
+        net = Network(NoCParams(rows=4, cols=4), Scheduler())
+        received = []
+        for tile in range(16):
+            net.interfaces[tile].eject_hook = (
+                lambda msg, t=tile: received.append((t, msg.uid)))
+        uids = []
+        for src, dest, msg_type, line in sends:
+            msg = CoherenceMsg(msg_type, line, src, (dest,))
+            uids.append((dest, msg.uid))
+            net.send(msg)
+        drain(net)
+        assert sorted(received) == sorted(uids)
+        assert net.inflight == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.sets(st.integers(min_value=0, max_value=15),
+                            min_size=1, max_size=16),
+                    min_size=1, max_size=12),
+           st.integers(min_value=0, max_value=15))
+    def test_multicasts_deliver_to_every_destination(self, dest_sets,
+                                                     src) -> None:
+        net = Network(NoCParams(rows=4, cols=4), Scheduler())
+        received = []
+        for tile in range(16):
+            net.interfaces[tile].eject_hook = (
+                lambda msg, t=tile: received.append((msg.uid, t)))
+        expected = []
+        for dests in dest_sets:
+            msg = CoherenceMsg(MsgType.PUSH, 0x10, src,
+                               tuple(sorted(dests)))
+            expected.extend((msg.uid, d) for d in dests)
+            net.send(msg)
+        drain(net)
+        assert sorted(received) == sorted(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(_DELIVERABLE)
+    def test_flit_conservation(self, sends) -> None:
+        """Link flits are a whole multiple of hop counts x packet size
+        and VCs all end free."""
+        net = Network(NoCParams(rows=4, cols=4), Scheduler())
+        for tile in range(16):
+            net.interfaces[tile].eject_hook = lambda m: None
+        for src, dest, msg_type, line in sends:
+            net.send(CoherenceMsg(msg_type, line, src, (dest,)))
+        drain(net)
+        for router in net.routers:
+            assert not router.busy
+            for port in router.input_ports:
+                if port is not None:
+                    assert port.empty

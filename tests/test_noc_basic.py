@@ -1,0 +1,148 @@
+"""Unit tests for NoC delivery, multicast, and timing basics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import NoCParams
+from repro.common.scheduler import Scheduler
+from repro.noc.network import Network
+from tests.conftest import drain
+
+
+def _gets(line: int, src: int, dest: int) -> CoherenceMsg:
+    return CoherenceMsg(MsgType.GETS, line, src, (dest,))
+
+
+def _push(line: int, src: int, dests) -> CoherenceMsg:
+    return CoherenceMsg(MsgType.PUSH, line, src, tuple(dests))
+
+
+class TestUnicastDelivery:
+    def test_delivers_to_destination(self, small_net: Network) -> None:
+        got = []
+        small_net.interfaces[3].eject_hook = got.append
+        small_net.send(_gets(0x10, 0, 3))
+        drain(small_net)
+        assert len(got) == 1
+        assert got[0].msg_type is MsgType.GETS
+        assert got[0].line_addr == 0x10
+
+    def test_self_delivery_via_local_port(self, small_net: Network) -> None:
+        got = []
+        small_net.interfaces[2].eject_hook = got.append
+        small_net.send(_gets(0x20, 2, 2))
+        drain(small_net)
+        assert len(got) == 1
+
+    def test_latency_scales_with_distance(self) -> None:
+        latencies = {}
+        for dest in (1, 3):
+            scheduler = Scheduler()
+            net = Network(NoCParams(rows=2, cols=2), scheduler)
+            done = []
+            net.interfaces[dest].eject_hook = lambda m: done.append(
+                scheduler.now)
+            net.send(_gets(0x30, 0, dest))
+            drain(net)
+            latencies[dest] = done[0]
+        assert latencies[3] > latencies[1]
+
+    def test_data_packet_slower_than_control(self) -> None:
+        times = {}
+        for msg_type in (MsgType.GETS, MsgType.DATA_S):
+            scheduler = Scheduler()
+            net = Network(NoCParams(rows=2, cols=2), scheduler)
+            done = []
+            net.interfaces[3].eject_hook = lambda m: done.append(
+                scheduler.now)
+            net.send(CoherenceMsg(msg_type, 0x40, 0, (3,)))
+            drain(net)
+            times[msg_type] = done[0]
+        assert times[MsgType.DATA_S] > times[MsgType.GETS]
+
+
+class TestMulticast:
+    def test_push_reaches_all_destinations(self, mesh4_net: Network) -> None:
+        got = {tile: [] for tile in range(16)}
+        for tile in range(16):
+            mesh4_net.interfaces[tile].eject_hook = got[tile].append
+        dests = (0, 5, 10, 15)
+        mesh4_net.send(_push(0xbeef, 3, dests))
+        drain(mesh4_net)
+        for tile in dests:
+            assert len(got[tile]) == 1, f"tile {tile} missed the push"
+        for tile in set(range(16)) - set(dests):
+            assert not got[tile]
+
+    def test_multicast_saves_flits_over_unicasts(self) -> None:
+        def run(multicast: bool) -> int:
+            scheduler = Scheduler()
+            net = Network(NoCParams(rows=4, cols=4), scheduler)
+            for tile in range(16):
+                net.interfaces[tile].eject_hook = lambda m: None
+            dests = (12, 13, 14, 15)
+            if multicast:
+                net.send(_push(0x80, 0, dests))
+            else:
+                for dest in dests:
+                    net.send(_push(0x80, 0, (dest,)))
+            drain(net)
+            return net.total_flits()
+
+        assert run(multicast=True) < run(multicast=False)
+
+    def test_inflight_returns_to_zero(self, mesh4_net: Network) -> None:
+        for tile in range(16):
+            mesh4_net.interfaces[tile].eject_hook = lambda m: None
+        mesh4_net.send(_push(0x100, 6, (0, 3, 12, 15)))
+        drain(mesh4_net)
+        assert mesh4_net.inflight == 0
+
+
+class TestRoutingDiscipline:
+    def test_requests_route_xy_responses_yx(self, small_net: Network) -> None:
+        # From tile 0 to tile 3 in a 2x2 mesh: XY goes east first
+        # (through tile 1), YX goes south first (through tile 2).
+        small_net.interfaces[3].eject_hook = lambda m: None
+        small_net.send(_gets(0x1, 0, 3))
+        drain(small_net)
+        request_links = set(small_net.link_load)
+        router_ids = {router for router, _ in request_links}
+        assert 1 in router_ids and 2 not in router_ids
+
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=2, cols=2), scheduler)
+        net.interfaces[3].eject_hook = lambda m: None
+        net.send(CoherenceMsg(MsgType.DATA_S, 0x1, 0, (3,)))
+        drain(net)
+        router_ids = {router for router, _ in net.link_load}
+        assert 2 in router_ids and 1 not in router_ids
+
+
+class TestBackpressure:
+    def test_many_packets_to_one_sink_all_arrive(self) -> None:
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=4, cols=4), scheduler)
+        got = []
+        net.interfaces[5].eject_hook = got.append
+        for src in range(16):
+            if src == 5:
+                continue
+            for burst in range(4):
+                net.send(CoherenceMsg(MsgType.DATA_S, 0x1000 + burst, src,
+                                      (5,)))
+        drain(net)
+        assert len(got) == 15 * 4
+
+    def test_watchdog_is_quiet_on_healthy_traffic(self) -> None:
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=2, cols=2), scheduler)
+        for tile in range(4):
+            net.interfaces[tile].eject_hook = lambda m: None
+        for src in range(4):
+            for dest in range(4):
+                net.send(_gets(0x200 + dest, src, dest))
+        drain(net)  # raises on deadlock
+        assert net.inflight == 0

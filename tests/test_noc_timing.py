@@ -1,0 +1,117 @@
+"""NoC timing behaviour: serialization, link width, contention."""
+
+from __future__ import annotations
+
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import NoCParams
+from repro.common.scheduler import Scheduler
+from repro.noc.network import Network
+from tests.conftest import drain
+
+
+def _timed_delivery(msg_type: MsgType, link_bits: int = 128,
+                    src: int = 0, dest: int = 3) -> int:
+    scheduler = Scheduler()
+    net = Network(NoCParams(rows=2, cols=2, link_bits=link_bits),
+                  scheduler)
+    done = []
+    net.interfaces[dest].eject_hook = lambda m: done.append(scheduler.now)
+    net.send(CoherenceMsg(msg_type, 0x1, src, (dest,)))
+    drain(net)
+    return done[0]
+
+
+class TestSerialization:
+    def test_wider_links_speed_up_data(self) -> None:
+        narrow = _timed_delivery(MsgType.DATA_S, link_bits=64)
+        wide = _timed_delivery(MsgType.DATA_S, link_bits=512)
+        assert wide < narrow
+
+    def test_link_width_does_not_affect_control(self) -> None:
+        narrow = _timed_delivery(MsgType.GETS, link_bits=64)
+        wide = _timed_delivery(MsgType.GETS, link_bits=512)
+        assert narrow == wide
+
+    def test_back_to_back_packets_serialize(self) -> None:
+        """Two 5-flit packets over one path: the second is delayed by
+        at least the serialization time of the first."""
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=2, cols=2), scheduler)
+        times = []
+        net.interfaces[1].eject_hook = lambda m: times.append(
+            scheduler.now)
+        for i in range(2):
+            net.send(CoherenceMsg(MsgType.DATA_S, 0x10 + i, 0, (1,)))
+        drain(net)
+        assert times[1] - times[0] >= 5
+
+
+class TestContention:
+    def test_hotspot_throughput_bounded_by_ejection_link(self) -> None:
+        """N senders to one sink: delivery rate caps at ~1 packet per
+        packet-serialization-time on the final link."""
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=4, cols=4), scheduler)
+        times = []
+        net.interfaces[5].eject_hook = lambda m: times.append(
+            scheduler.now)
+        count = 30
+        for i in range(count):
+            src = (i % 15)
+            src = src if src < 5 else src + 1
+            net.send(CoherenceMsg(MsgType.DATA_S, 0x100 + i, src, (5,)))
+        drain(net)
+        assert len(times) == count
+        span = max(times) - min(times)
+        flits = NoCParams().data_packet_flits
+        assert span >= (count - 1) * flits * 0.8
+
+    def test_vnets_do_not_block_each_other(self) -> None:
+        """Data congestion must not starve control messages (their VCs
+        are separate) — the deadlock-freedom premise of the protocol."""
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=2, cols=2), scheduler)
+        control_done = []
+        net.interfaces[1].eject_hook = lambda m: control_done.append(
+            (m.msg_type, scheduler.now))
+        for i in range(8):  # saturate vnet1 toward tile 1
+            net.send(CoherenceMsg(MsgType.DATA_S, 0x10 + i, 0, (1,)))
+        net.send(CoherenceMsg(MsgType.INV, 0x99, 0, (1,)))
+        drain(net)
+        inv_time = next(t for mt, t in control_done
+                        if mt is MsgType.INV)
+        last_data = max(t for mt, t in control_done
+                        if mt is MsgType.DATA_S)
+        assert inv_time < last_data
+
+
+class TestMulticastTiming:
+    def test_asynchronous_branches_leave_independently(self) -> None:
+        """A multicast's near branch must not wait for the far one."""
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=4, cols=4), scheduler)
+        deliveries = {}
+        for tile in (1, 15):
+            net.interfaces[tile].eject_hook = (
+                lambda m, t=tile: deliveries.setdefault(t, scheduler.now))
+        net.send(CoherenceMsg(MsgType.PUSH, 0x1, 0, (1, 15)))
+        drain(net)
+        assert deliveries[1] < deliveries[15]
+
+    def test_multicast_latency_close_to_unicast(self) -> None:
+        def push_to_15(dests) -> int:
+            scheduler = Scheduler()
+            net = Network(NoCParams(rows=4, cols=4), scheduler)
+            done = {}
+            for tile in dests:
+                net.interfaces[tile].eject_hook = (
+                    lambda m, t=tile: done.setdefault(t, scheduler.now))
+            net.send(CoherenceMsg(MsgType.PUSH, 0x1, 0, tuple(dests)))
+            drain(net)
+            return done[15]
+
+        unicast = push_to_15([15])
+        multicast = push_to_15([3, 12, 15])
+        # Asynchronous replication may add per-hop arbitration delay but
+        # not a full store-and-forward per branch.
+        assert multicast <= unicast + 3 * NoCParams().data_packet_flits

@@ -1,0 +1,125 @@
+"""Configuration validation tests (Table I parameter objects)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    NoCParams,
+    PrefetchParams,
+    PushParams,
+    SystemParams,
+)
+
+
+class TestCacheParams:
+    def test_table1_l2_geometry(self) -> None:
+        l2 = CacheParams(size_bytes=256 * 1024, assoc=16, hit_latency=8)
+        assert l2.num_sets == 256
+        assert l2.num_lines == 4096
+
+    def test_rejects_non_power_of_two_sets(self) -> None:
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=3 * 64 * 16, assoc=16, hit_latency=1)
+
+    def test_rejects_sub_line_cache(self) -> None:
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=32, assoc=1, hit_latency=1)
+
+    def test_rejects_zero_latency(self) -> None:
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=64 * 64, assoc=1, hit_latency=0)
+
+    def test_rejects_misaligned_size(self) -> None:
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=64 * 64 + 64, assoc=2, hit_latency=1)
+
+
+class TestNoCParams:
+    def test_default_matches_table1(self) -> None:
+        noc = NoCParams()
+        assert noc.rows == 4 and noc.cols == 4
+        assert noc.link_bits == 128
+        assert noc.data_packet_flits == 5  # 1 head + 512/128
+        assert noc.control_packet_flits == 1
+        assert noc.num_vnets == 3
+
+    @pytest.mark.parametrize("bits,flits", [(64, 9), (128, 5), (256, 3),
+                                            (512, 2)])
+    def test_data_packet_flits_scale_with_link_width(self, bits: int,
+                                                     flits: int) -> None:
+        assert NoCParams(link_bits=bits).data_packet_flits == flits
+
+    def test_rejects_odd_link_width(self) -> None:
+        with pytest.raises(ConfigError):
+            NoCParams(link_bits=100)
+
+    def test_vc_depth_must_hold_a_data_packet(self) -> None:
+        with pytest.raises(ConfigError):
+            NoCParams(link_bits=64, vc_depth_flits=4)
+
+    def test_num_tiles(self) -> None:
+        assert NoCParams(rows=8, cols=8).num_tiles == 64
+
+
+class TestPushParams:
+    def test_default_is_off(self) -> None:
+        push = PushParams()
+        assert push.mode == "off"
+        assert not push.pushes
+
+    @pytest.mark.parametrize("mode", ["pushack", "ordpush", "msp"])
+    def test_push_modes_push(self, mode: str) -> None:
+        assert PushParams(mode=mode).pushes
+
+    @pytest.mark.parametrize("mode", ["off", "coalesce"])
+    def test_non_push_modes(self, mode: str) -> None:
+        assert not PushParams(mode=mode).pushes
+
+    def test_rejects_unknown_mode(self) -> None:
+        with pytest.raises(ConfigError):
+            PushParams(mode="turbo")
+
+    def test_rejects_bad_ratio(self) -> None:
+        with pytest.raises(ConfigError):
+            PushParams(useful_ratio_log2=0)
+
+    def test_rejects_zero_window(self) -> None:
+        with pytest.raises(ConfigError):
+            PushParams(time_window=0)
+
+
+class TestCoreParams:
+    def test_rejects_zero_window(self) -> None:
+        with pytest.raises(ConfigError):
+            CoreParams(max_outstanding=0)
+
+
+class TestMemoryParams:
+    def test_rejects_zero_bandwidth(self) -> None:
+        with pytest.raises(ConfigError):
+            MemoryParams(bandwidth_lines_per_cycle=0)
+
+
+class TestSystemParams:
+    def test_defaults_are_consistent(self) -> None:
+        params = SystemParams()
+        assert params.num_cores == 16
+        assert params.l1.size_bytes <= params.l2.size_bytes
+
+    def test_rejects_l1_larger_than_l2(self) -> None:
+        big_l1 = CacheParams(size_bytes=1024 * 1024, assoc=8, hit_latency=2)
+        small_l2 = CacheParams(size_bytes=64 * 1024, assoc=16,
+                               hit_latency=8)
+        with pytest.raises(ConfigError):
+            SystemParams(l1=big_l1, l2=small_l2)
+
+
+class TestPrefetchParams:
+    def test_region_must_be_line_multiple(self) -> None:
+        with pytest.raises(ConfigError):
+            PrefetchParams(bingo_region_bytes=100)

@@ -1,0 +1,138 @@
+"""Prefetcher tests: stride detection and Bingo footprint replay."""
+
+from __future__ import annotations
+
+from repro.common.params import PrefetchParams
+from repro.common.stats import StatGroup
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.unit import PrefetchUnit
+
+
+class TestStride:
+    def test_confirms_after_two_equal_deltas(self) -> None:
+        pf = StridePrefetcher(degree=4)
+        assert pf.observe(100, pc=1) == []
+        assert pf.observe(101, pc=1) == []       # first delta seen
+        assert pf.observe(102, pc=1) == [103, 104, 105, 106]
+
+    def test_non_unit_stride(self) -> None:
+        pf = StridePrefetcher(degree=2)
+        pf.observe(0, pc=1)
+        pf.observe(8, pc=1)
+        assert pf.observe(16, pc=1) == [24, 32]
+
+    def test_negative_stride(self) -> None:
+        pf = StridePrefetcher(degree=2)
+        pf.observe(100, pc=1)
+        pf.observe(96, pc=1)
+        assert pf.observe(92, pc=1) == [88, 84]
+
+    def test_broken_pattern_resets_confidence(self) -> None:
+        pf = StridePrefetcher(degree=2)
+        pf.observe(0, pc=1)
+        pf.observe(1, pc=1)
+        pf.observe(2, pc=1)           # confirmed
+        assert pf.observe(50, pc=1) == []   # break
+        assert pf.observe(51, pc=1) == []   # new delta, unconfirmed
+
+    def test_streams_are_per_pc(self) -> None:
+        pf = StridePrefetcher(degree=1)
+        pf.observe(0, pc=1)
+        pf.observe(100, pc=2)
+        pf.observe(1, pc=1)
+        pf.observe(101, pc=2)
+        assert pf.observe(2, pc=1) == [3]
+        assert pf.observe(102, pc=2) == [103]
+
+    def test_stream_capacity_eviction(self) -> None:
+        pf = StridePrefetcher(streams=2, degree=1)
+        pf.observe(0, pc=1)
+        pf.observe(100, pc=2)
+        pf.observe(200, pc=3)         # evicts stream for pc=1
+        pf.observe(1, pc=1)           # retrained from scratch
+        assert pf.observe(2, pc=1) == []  # delta seen once, unconfirmed
+
+    def test_repeated_same_line_is_ignored(self) -> None:
+        pf = StridePrefetcher(degree=2)
+        pf.observe(5, pc=1)
+        assert pf.observe(5, pc=1) == []
+
+    def test_never_prefetches_negative_lines(self) -> None:
+        pf = StridePrefetcher(degree=4)
+        pf.observe(8, pc=1)
+        pf.observe(4, pc=1)
+        prefetches = pf.observe(0, pc=1)
+        assert all(line >= 0 for line in prefetches)
+
+
+class TestBingo:
+    def test_replays_recorded_footprint(self) -> None:
+        pf = BingoPrefetcher(region_bytes=256)  # 4 lines per region
+        # Record region 0 with footprint {0, 2, 3}, trigger (pc=7, off=0)
+        pf.observe(0, pc=7)
+        pf.observe(2, pc=7)
+        pf.observe(3, pc=7)
+        pf.flush()
+        # Same trigger in region 5 -> replay offsets 2 and 3.
+        assert pf.observe(20, pc=7) == [22, 23]
+
+    def test_no_replay_for_unknown_trigger(self) -> None:
+        pf = BingoPrefetcher(region_bytes=256)
+        assert pf.observe(0, pc=7) == []
+
+    def test_trigger_offset_matters(self) -> None:
+        pf = BingoPrefetcher(region_bytes=256)
+        pf.observe(0, pc=7)
+        pf.observe(1, pc=7)
+        pf.flush()
+        # Same pc but region entered at offset 1: different trigger.
+        assert pf.observe(21, pc=7) == []
+
+    def test_accesses_within_open_region_just_record(self) -> None:
+        pf = BingoPrefetcher(region_bytes=256)
+        pf.observe(0, pc=7)
+        assert pf.observe(1, pc=7) == []  # same region, recording
+
+    def test_pht_capacity_evicts_oldest(self) -> None:
+        pf = BingoPrefetcher(region_bytes=256, pht_entries=1)
+        pf.observe(0, pc=1)
+        pf.flush()
+        pf.observe(100, pc=2)
+        pf.flush()
+        # pc=1's pattern was evicted by pc=2's.
+        assert pf.observe(200, pc=1) == []
+
+
+class TestPrefetchUnit:
+    def test_disabled_unit_is_silent(self) -> None:
+        issued = []
+        unit = PrefetchUnit(PrefetchParams(enabled=False), issued.append)
+        for i in range(10):
+            unit.observe(i * 64, pc=1, is_write=False)
+        assert issued == []
+
+    def test_enabled_unit_issues_byte_addresses(self) -> None:
+        issued = []
+        unit = PrefetchUnit(PrefetchParams(enabled=True), issued.append)
+        for i in range(6):
+            unit.observe(i * 64, pc=1, is_write=False)
+        assert issued, "a sequential stream must trigger prefetches"
+        assert all(addr % 64 == 0 for addr in issued)
+
+    def test_writes_do_not_train(self) -> None:
+        issued = []
+        unit = PrefetchUnit(PrefetchParams(enabled=True), issued.append)
+        for i in range(6):
+            unit.observe(i * 64, pc=1, is_write=True)
+        assert issued == []
+
+    def test_issue_budget_per_access(self) -> None:
+        issued = []
+        unit = PrefetchUnit(PrefetchParams(enabled=True), issued.append)
+        per_access = []
+        for i in range(20):
+            before = len(issued)
+            unit.observe(i * 64, pc=1, is_write=False)
+            per_access.append(len(issued) - before)
+        assert max(per_access) <= 8

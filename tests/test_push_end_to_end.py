@@ -1,0 +1,140 @@
+"""End-to-end push-multicast mechanism tests on the full system.
+
+These exercise the interactions the unit tests cannot: in-network
+filtering feeding Early-Resp accounting, the OrdPush ordering rule under
+real traffic, the dynamic knob pausing a push-hostile workload, and the
+ablation ladder's monotone traffic behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cpu.traces import BARRIER, MemAccess
+from repro.sim.config import bench_kwargs, make_params
+from repro.sim.results import collect_result
+from repro.sim.system import System
+
+
+def _run(config: str, traces, num_cores: int = 16, **kwargs):
+    params = make_params(config, num_cores=num_cores, **bench_kwargs(),
+                         **kwargs)
+    system = System(params)
+    system.attach_workload(traces)
+    cycles = system.run()
+    return collect_result(system, "e2e", config, cycles), system
+
+
+def shared_rescan(num_cores: int, lines: int = 1024, iters: int = 3,
+                  seed: int = 1):
+    """Staggered repeated shared scan — the push-friendly pattern."""
+    def trace(core: int):
+        rng = random.Random(seed * 50 + core)
+        for _ in range(iters):
+            yield MemAccess(addr=0x800000 + core * 64,
+                            work=rng.randrange(0, 1600), pc=0xFFFF)
+            for line in range(lines):
+                yield MemAccess(addr=0x100000 + line * 64,
+                                work=2 + rng.randrange(0, 3), pc=1)
+            yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]
+
+
+def useless_push_bait(num_cores: int, seed: int = 1):
+    """Random single-touch accesses: pushes never pay off."""
+    def trace(core: int):
+        rng = random.Random(seed * 50 + core)
+        for _ in range(1200):
+            line = rng.randrange(2048)
+            yield MemAccess(addr=0x400000 + line * 64,
+                            work=2 + rng.randrange(0, 3), pc=2)
+        yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]
+
+
+class TestPushBenefit:
+    def test_ordpush_reduces_traffic_and_misses(self) -> None:
+        base, _ = _run("noprefetch", shared_rescan(16))
+        push, _ = _run("ordpush", shared_rescan(16))
+        assert push.total_flits < base.total_flits
+        assert push.l2_demand_misses < base.l2_demand_misses
+        assert push.push_accuracy() > 0.5
+
+    def test_pushes_turn_misses_into_hits(self) -> None:
+        result, _ = _run("ordpush", shared_rescan(16))
+        assert result.push_usage["push_miss_to_hit"] > 0
+        assert result.push_usage["push_early_resp"] > 0
+
+    def test_filter_prunes_requests_in_flight(self) -> None:
+        result, _ = _run("ordpush", shared_rescan(16))
+        assert result.requests_filtered > 0
+
+    def test_msp_inflates_traffic(self) -> None:
+        base, _ = _run("noprefetch", shared_rescan(16))
+        msp, _ = _run("msp", shared_rescan(16))
+        assert msp.total_flits > base.total_flits
+
+    def test_push_degree_approaches_sharer_count(self) -> None:
+        """Paper §IV-C: mean destinations close to the maximum."""
+        result, _ = _run("ordpush", shared_rescan(16))
+        assert result.mean_push_degree > 12
+
+
+class TestDynamicKnob:
+    def test_knob_pauses_on_push_hostile_workload(self) -> None:
+        with_knob, _ = _run("ordpush", useless_push_bait(16))
+        without, _ = _run("push_mc_filter", useless_push_bait(16))
+        assert with_knob.pushes_triggered < without.pushes_triggered
+
+    def test_knob_keeps_pushing_on_friendly_workload(self) -> None:
+        result, system = _run("ordpush", shared_rescan(16))
+        assert result.pushes_triggered > 0
+        assert result.push_accuracy() > 0.5
+
+    def test_pdrmap_populated_under_useless_pushes(self) -> None:
+        _, system = _run("ordpush", useless_push_bait(16))
+        paused_any = sum(len(s.pdrmap) for s in system.slices)
+        resets = sum(c.stats.get("push_counter_resets")
+                     for c in system.caches)
+        # Pausing engaged at some point: either maps are still populated
+        # or resume-phase resets happened.
+        assert paused_any > 0 or resets > 0
+
+
+class TestAblationLadder:
+    def test_filter_cuts_traffic_over_multicast_alone(self) -> None:
+        multicast, _ = _run("push_multicast", shared_rescan(16))
+        filtered, _ = _run("push_mc_filter", shared_rescan(16))
+        assert filtered.total_flits < multicast.total_flits
+
+    def test_multicast_cuts_traffic_over_unicast_pushes(self) -> None:
+        unicast, _ = _run("push_only", shared_rescan(16))
+        multicast, _ = _run("push_multicast", shared_rescan(16))
+        assert multicast.total_flits < unicast.total_flits
+
+
+class TestOrdPushOrdering:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_write_races_never_install_stale_pushes(self, seed: int) -> None:
+        """Mixed pushes + writes under OrdPush complete with the
+        data-value invariant intact (checked inside the caches)."""
+        def trace(core: int):
+            rng = random.Random(seed * 99 + core)
+            for _ in range(600):
+                line = rng.randrange(48)
+                write = rng.random() < 0.3
+                yield MemAccess(addr=0x200000 + line * 64,
+                                is_write=write,
+                                work=rng.randrange(0, 4))
+            yield BARRIER
+
+        result, system = _run("ordpush",
+                              [trace(c) for c in range(16)])
+        assert result.cycles > 0
+        stalls = sum(r.stats.get("inv_stalled_behind_push")
+                     for r in system.network.routers)
+        assert stalls >= 0  # ordering machinery exercised without hangs

@@ -1,0 +1,69 @@
+"""Replacement policy tests with hypothesis properties."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.cache.replacement import LRUPolicy, TreePLRUPolicy
+
+
+class TestLRU:
+    def test_evicts_least_recent(self) -> None:
+        policy = LRUPolicy(num_sets=1, assoc=4)
+        for way in (0, 1, 2, 3):
+            policy.touch(0, way)
+        policy.touch(0, 0)  # 1 is now the oldest
+        assert policy.victim(0, [0, 1, 2, 3]) == 1
+
+    def test_respects_candidate_restriction(self) -> None:
+        policy = LRUPolicy(num_sets=1, assoc=4)
+        for way in (0, 1, 2, 3):
+            policy.touch(0, way)
+        assert policy.victim(0, [2, 3]) == 2
+
+    def test_sets_are_independent(self) -> None:
+        policy = LRUPolicy(num_sets=2, assoc=2)
+        policy.touch(0, 0)
+        policy.touch(1, 1)
+        policy.touch(0, 1)
+        assert policy.victim(0, [0, 1]) == 0
+        assert policy.victim(1, [0, 1]) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=64))
+    def test_victim_is_always_a_candidate(self, touches) -> None:
+        policy = LRUPolicy(num_sets=1, assoc=8)
+        for way in touches:
+            policy.touch(0, way)
+        candidates = sorted(set(touches))
+        assert policy.victim(0, candidates) in candidates
+
+
+class TestTreePLRU:
+    def test_victim_avoids_recent_way(self) -> None:
+        policy = TreePLRUPolicy(num_sets=1, assoc=8)
+        policy.touch(0, 3)
+        assert policy.victim(0, list(range(8))) != 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=64))
+    def test_victim_is_always_a_candidate(self, touches) -> None:
+        policy = TreePLRUPolicy(num_sets=1, assoc=8)
+        for way in touches:
+            policy.touch(0, way)
+        candidates = sorted(set(touches))
+        assert policy.victim(0, candidates) in candidates
+
+    def test_non_power_of_two_falls_back(self) -> None:
+        policy = TreePLRUPolicy(num_sets=1, assoc=3)
+        for way in (0, 1, 2):
+            policy.touch(0, way)
+        assert policy.victim(0, [0, 1, 2]) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=100))
+    def test_16_way_never_crashes(self, touches) -> None:
+        policy = TreePLRUPolicy(num_sets=4, assoc=16)
+        for i, way in enumerate(touches):
+            policy.touch(i % 4, way)
+        assert 0 <= policy.victim(0, list(range(16))) < 16

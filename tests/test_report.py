@@ -1,0 +1,108 @@
+"""Tests for the reporting package and result serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.charts import bar_chart, sparkline
+from repro.report.export import results_to_csv, write_results_csv
+from repro.report.tables import format_table, normalize_table
+from tests.test_results import _result
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self) -> None:
+        text = format_table(("name", "value"),
+                            [("cachebw", 1.16), ("mv", 1.11)],
+                            title="Speedups")
+        lines = text.splitlines()
+        assert lines[0] == "=== Speedups ==="
+        assert "cachebw" in text and "1.16" in text
+        # all rows aligned to the same width
+        assert len(set(len(line) for line in lines[2:4])) <= 2
+
+    def test_empty_rows(self) -> None:
+        text = format_table(("a",), [])
+        assert "a" in text
+
+
+class TestNormalizeTable:
+    def test_speedup_metric(self) -> None:
+        grid = {"wl": {"baseline": _result(cycles=1000),
+                       "ordpush": _result(cycles=800)}}
+        table = normalize_table(grid)
+        assert table["wl"]["ordpush"] == pytest.approx(1.25)
+        assert table["wl"]["baseline"] == pytest.approx(1.0)
+
+    def test_traffic_metric(self) -> None:
+        grid = {"wl": {"baseline": _result(traffic={"OTHER": 100}),
+                       "ordpush": _result(traffic={"OTHER": 70})}}
+        table = normalize_table(grid, metric="traffic")
+        assert table["wl"]["ordpush"] == pytest.approx(0.7)
+
+    def test_rejects_unknown_metric(self) -> None:
+        with pytest.raises(ValueError):
+            normalize_table({}, metric="latency")
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self) -> None:
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+        assert 0 < lines[0].count("#") <= 10
+
+    def test_bar_chart_reference_marker(self) -> None:
+        chart = bar_chart({"a": 2.0}, width=20, reference=1.0)
+        assert "|" in chart
+
+    def test_bar_chart_empty(self) -> None:
+        assert bar_chart({}) == "(no data)"
+
+    def test_sparkline_monotone(self) -> None:
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line == "".join(sorted(line))
+
+    def test_sparkline_flat(self) -> None:
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_sparkline_empty(self) -> None:
+        assert sparkline([]) == ""
+
+
+class TestCsvExport:
+    def test_round_trippable_columns(self) -> None:
+        text = results_to_csv([_result(), _result(cycles=500)])
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        header = lines[0].split(",")
+        assert "l2_mpki" in header and "workload" in header
+        assert len(lines[1].split(",")) == len(header)
+
+    def test_empty_collection(self) -> None:
+        assert results_to_csv([]) == ""
+
+    def test_write_to_file(self, tmp_path) -> None:
+        path = tmp_path / "results.csv"
+        write_results_csv([_result()], path)
+        assert path.read_text().startswith("workload,")
+
+
+class TestSimResultSerialization:
+    def test_json_roundtrip(self, tmp_path) -> None:
+        original = _result(cycles=1234, misses=42)
+        original.link_load[(3, "east")] = 99
+        path = tmp_path / "r.json"
+        original.save_json(path)
+        from repro.sim.results import SimResult
+        loaded = SimResult.load_json(path)
+        assert loaded.cycles == 1234
+        assert loaded.l2_demand_misses == 42
+        assert loaded.link_load[(3, "east")] == 99
+        assert loaded.l2_mpki == pytest.approx(original.l2_mpki)
+
+    def test_to_dict_is_json_safe(self) -> None:
+        import json
+        payload = _result().to_dict()
+        json.dumps(payload)  # must not raise

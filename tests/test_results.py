@@ -1,0 +1,73 @@
+"""SimResult arithmetic tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.results import PUSH_CATEGORIES, SimResult
+
+
+def _result(cycles: int = 1000, misses: int = 50, insts: int = 10_000,
+            traffic=None, push_usage=None) -> SimResult:
+    empty = {name: 0 for name in (
+        "READ_SHARED_DATA", "READ_REQUEST", "EXCLUSIVE_DATA",
+        "WRITEBACK_DATA", "PUSH_ACK", "OTHER")}
+    usage = {name: 0 for name in PUSH_CATEGORIES}
+    if push_usage:
+        usage.update(push_usage)
+    return SimResult(
+        config="test", workload="unit", num_cores=16, cycles=cycles,
+        instructions=insts, l2_demand_accesses=100,
+        l2_demand_misses=misses,
+        traffic=dict(empty, **(traffic or {})),
+        l2_inject=dict(empty), l2_eject=dict(empty),
+        llc_inject=dict(empty), llc_eject=dict(empty),
+        push_usage=usage)
+
+
+class TestDerivedMetrics:
+    def test_mpki(self) -> None:
+        result = _result(misses=50, insts=10_000)
+        assert result.l2_mpki == pytest.approx(5.0)
+
+    def test_miss_rate(self) -> None:
+        assert _result(misses=50).l2_miss_rate == pytest.approx(0.5)
+
+    def test_total_flits(self) -> None:
+        result = _result(traffic={"READ_REQUEST": 100,
+                                  "READ_SHARED_DATA": 400})
+        assert result.total_flits == 500
+
+    def test_injection_load(self) -> None:
+        result = _result(cycles=100, traffic={"OTHER": 1600})
+        assert result.injection_load == pytest.approx(1.0)
+
+    def test_speedup_over(self) -> None:
+        fast = _result(cycles=500)
+        slow = _result(cycles=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_traffic_vs(self) -> None:
+        a = _result(traffic={"OTHER": 300})
+        b = _result(traffic={"OTHER": 600})
+        assert a.traffic_vs(b) == pytest.approx(0.5)
+
+    def test_push_accuracy(self) -> None:
+        result = _result(push_usage={"push_miss_to_hit": 30,
+                                     "push_early_resp": 20,
+                                     "push_unused": 50})
+        assert result.push_accuracy() == pytest.approx(0.5)
+
+    def test_push_accuracy_no_pushes(self) -> None:
+        assert _result().push_accuracy() == 0.0
+
+    def test_traffic_fractions_sum_to_one(self) -> None:
+        result = _result(traffic={"READ_REQUEST": 25, "OTHER": 75})
+        fractions = result.traffic_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["OTHER"] == pytest.approx(0.75)
+
+    def test_summary_is_informative(self) -> None:
+        text = _result().summary()
+        assert "unit/test" in text and "MPKI" in text

@@ -1,0 +1,109 @@
+"""Routing tests: XY/YX disciplines, tables, multicast splits."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.noc.routing import (
+    Direction,
+    RoutingTables,
+    multicast_output_ports,
+    route_compute,
+    xy_route,
+    yx_route,
+)
+from repro.noc.topology import Mesh
+
+
+def _walk(mesh: Mesh, src: int, dest: int, vnet: int) -> int:
+    """Follow the routing decisions from src; returns hop count."""
+    cur = src
+    hops = 0
+    while True:
+        step = route_compute(mesh, cur, dest, vnet)
+        if step is Direction.LOCAL:
+            assert cur == dest
+            return hops
+        cur = mesh.neighbor(cur, step)
+        assert cur is not None, "route left the mesh"
+        hops += 1
+        assert hops <= mesh.rows + mesh.cols, "routing loop"
+
+
+class TestDisciplines:
+    def test_xy_goes_horizontal_first(self) -> None:
+        assert xy_route(0, 0, 1, 1) is Direction.EAST
+
+    def test_yx_goes_vertical_first(self) -> None:
+        assert yx_route(0, 0, 1, 1) is Direction.SOUTH
+
+    def test_local_at_destination(self) -> None:
+        assert xy_route(2, 2, 2, 2) is Direction.LOCAL
+        assert yx_route(2, 2, 2, 2) is Direction.LOCAL
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63),
+           st.sampled_from([0, 1, 2]))
+    def test_routes_always_reach_destination(self, src: int, dest: int,
+                                             vnet: int) -> None:
+        mesh = Mesh(8, 8)
+        hops = _walk(mesh, src, dest, vnet)
+        assert hops == mesh.hop_distance(src, dest)
+
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15))
+    def test_yx_is_reverse_of_xy(self, src: int, dest: int) -> None:
+        """A YX push retraces a XY request's path in reverse — the
+        property the in-network filter placement relies on (§III-C)."""
+        mesh = Mesh(4, 4)
+        forward = []
+        cur = src
+        while cur != dest:
+            step = route_compute(mesh, cur, dest, vnet=0)  # XY
+            forward.append(cur)
+            cur = mesh.neighbor(cur, step)
+        forward.append(dest)
+        backward = []
+        cur = dest
+        while cur != src:
+            step = route_compute(mesh, cur, src, vnet=1)  # YX
+            backward.append(cur)
+            cur = mesh.neighbor(cur, step)
+        backward.append(src)
+        assert forward == list(reversed(backward))
+
+
+class TestRoutingTables:
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15),
+           st.sampled_from([0, 1, 2]))
+    def test_tables_match_route_compute(self, cur: int, dest: int,
+                                        vnet: int) -> None:
+        mesh = Mesh(4, 4)
+        tables = RoutingTables(mesh)
+        assert tables.next_hop(vnet, cur, dest) is route_compute(
+            mesh, cur, dest, vnet)
+
+
+class TestMulticastSplit:
+    def test_groups_partition_destinations(self) -> None:
+        mesh = Mesh(4, 4)
+        dests = (0, 3, 12, 15, 5)
+        groups = multicast_output_ports(mesh, 5, dests, vnet=1)
+        regrouped = sorted(d for group in groups.values() for d in group)
+        assert regrouped == sorted(dests)
+
+    def test_local_group_is_self_only(self) -> None:
+        mesh = Mesh(4, 4)
+        groups = multicast_output_ports(mesh, 5, (5, 6), vnet=1)
+        assert groups[Direction.LOCAL] == (5,)
+
+    @given(st.integers(min_value=0, max_value=15),
+           st.sets(st.integers(min_value=0, max_value=15), min_size=1,
+                   max_size=16))
+    def test_tables_split_partitions(self, cur: int, dests) -> None:
+        mesh = Mesh(4, 4)
+        tables = RoutingTables(mesh)
+        groups = tables.output_ports(1, cur, tuple(sorted(dests)))
+        regrouped = sorted(d for group in groups.values() for d in group)
+        assert regrouped == sorted(dests)

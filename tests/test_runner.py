@@ -1,0 +1,64 @@
+"""Run-harness API tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.config import bench_kwargs
+from repro.sim.runner import run_comparison, run_workload
+
+
+class TestRunWorkload:
+    def test_returns_labelled_result(self) -> None:
+        result = run_workload("pathfinder", "noprefetch", num_cores=4,
+                              **bench_kwargs())
+        assert result.workload == "pathfinder"
+        assert result.config == "noprefetch"
+        assert result.num_cores == 4
+        assert result.cycles > 0
+
+    def test_kwargs_split_hardware_vs_workload(self) -> None:
+        """link_bits configures hardware; iters sizes the workload."""
+        result = run_workload("pathfinder", "noprefetch", num_cores=4,
+                              link_bits=256, iters=3, **bench_kwargs())
+        assert result.cycles > 0
+
+    def test_unknown_workload_kwarg_rejected_by_builder(self) -> None:
+        with pytest.raises(TypeError):
+            run_workload("pathfinder", "noprefetch", num_cores=4,
+                         bogus_size=3, **bench_kwargs())
+
+    def test_unknown_workload_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            run_workload("quake", "noprefetch", num_cores=4)
+
+    def test_suggested_window_applied(self) -> None:
+        """mlp runs with its dependence-limited window by default."""
+        result = run_workload("mlp", "noprefetch", num_cores=4,
+                              **bench_kwargs())
+        assert result.cycles > 0
+
+    def test_seed_changes_timing(self) -> None:
+        a = run_workload("pathfinder", "noprefetch", num_cores=4,
+                         seed=1, **bench_kwargs())
+        b = run_workload("pathfinder", "noprefetch", num_cores=4,
+                         seed=2, **bench_kwargs())
+        assert a.cycles != b.cycles
+
+    def test_same_seed_reproduces(self) -> None:
+        a = run_workload("pathfinder", "noprefetch", num_cores=4,
+                         seed=5, **bench_kwargs())
+        b = run_workload("pathfinder", "noprefetch", num_cores=4,
+                         seed=5, **bench_kwargs())
+        assert a.cycles == b.cycles
+        assert a.total_flits == b.total_flits
+
+
+class TestRunComparison:
+    def test_runs_every_config(self) -> None:
+        results = run_comparison("pathfinder",
+                                 ["noprefetch", "ordpush"],
+                                 num_cores=4, **bench_kwargs())
+        assert set(results) == {"noprefetch", "ordpush"}
+        assert all(r.cycles > 0 for r in results.values())

@@ -1,0 +1,70 @@
+"""Event scheduler tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.scheduler import Scheduler
+
+
+class TestScheduler:
+    def test_runs_due_events_in_time_order(self) -> None:
+        sched = Scheduler()
+        log = []
+        sched.at(5, lambda: log.append(5))
+        sched.at(2, lambda: log.append(2))
+        sched.at(9, lambda: log.append(9))
+        sched.run_due(6)
+        assert log == [2, 5]
+        sched.run_due(9)
+        assert log == [2, 5, 9]
+
+    def test_same_cycle_fifo_order(self) -> None:
+        sched = Scheduler()
+        log = []
+        for tag in range(5):
+            sched.at(3, lambda t=tag: log.append(t))
+        sched.run_due(3)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_callback_can_schedule_same_cycle(self) -> None:
+        sched = Scheduler()
+        log = []
+        sched.at(1, lambda: sched.at(1, lambda: log.append("nested")))
+        sched.run_due(1)
+        assert log == ["nested"]
+
+    def test_after_is_relative_to_now(self) -> None:
+        sched = Scheduler()
+        sched.run_due(10)
+        fired = []
+        sched.after(5, lambda: fired.append(sched.now))
+        sched.run_due(15)
+        assert fired == [15]
+
+    def test_rejects_scheduling_into_past(self) -> None:
+        sched = Scheduler()
+        sched.run_due(10)
+        with pytest.raises(SimulationError):
+            sched.at(5, lambda: None)
+
+    def test_rejects_time_going_backwards(self) -> None:
+        sched = Scheduler()
+        sched.run_due(10)
+        with pytest.raises(SimulationError):
+            sched.run_due(9)
+
+    def test_next_event_cycle(self) -> None:
+        sched = Scheduler()
+        assert sched.next_event_cycle() is None
+        sched.at(7, lambda: None)
+        assert sched.next_event_cycle() == 7
+
+    def test_pending_count(self) -> None:
+        sched = Scheduler()
+        sched.at(1, lambda: None)
+        sched.at(2, lambda: None)
+        assert sched.pending == 2
+        sched.run_due(1)
+        assert sched.pending == 1

@@ -1,0 +1,57 @@
+"""Stats dump tests."""
+
+from __future__ import annotations
+
+from repro.cpu.traces import MemAccess
+from repro.sim.config import make_params
+from repro.sim.statsdump import dump_stats, save_stats
+from repro.sim.system import System
+
+
+def _run_small():
+    system = System(make_params("ordpush", num_cores=4, l2_kb=8,
+                                llc_slice_kb=32, l1_kb=4))
+
+    def trace(core):
+        for i in range(64):
+            yield MemAccess(addr=0x1000 + i * 64, work=1)
+
+    system.attach_workload([trace(c) for c in range(4)])
+    system.run()
+    return system
+
+
+class TestDumpStats:
+    def test_contains_core_sections(self) -> None:
+        text = dump_stats(_run_small())
+        assert "Begin Simulation Statistics" in text
+        assert "sim.cycles" in text
+        assert "agg.l2.demand_accesses" in text
+        assert "agg.llc.gets_served" in text
+        assert "network.traffic.read_request" in text
+        assert "router0." in text
+
+    def test_aggregates_match_sums(self) -> None:
+        system = _run_small()
+        text = dump_stats(system)
+        expected = sum(c.stats.get("demand_accesses")
+                       for c in system.caches)
+        line = next(l for l in text.splitlines()
+                    if l.startswith("agg.l2.demand_accesses"))
+        assert int(line.split()[-1]) == expected
+
+    def test_no_aggregate_mode(self) -> None:
+        text = dump_stats(_run_small(), aggregate=False)
+        assert "agg.l2" not in text
+        assert "network" in text
+
+    def test_save_to_file(self, tmp_path) -> None:
+        path = tmp_path / "stats.txt"
+        save_stats(_run_small(), path)
+        content = path.read_text()
+        assert content.startswith("---------- Begin")
+        assert content.rstrip().endswith("----------")
+
+    def test_dump_is_diffable(self) -> None:
+        """Same seed and config => identical dumps."""
+        assert dump_stats(_run_small()) == dump_stats(_run_small())

@@ -1,0 +1,116 @@
+"""Full-system wiring and run-loop tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.traces import BARRIER, MemAccess
+from repro.sim.config import make_params
+from repro.sim.results import collect_result
+from repro.sim.system import System
+
+
+def _simple_traces(num_cores: int, lines: int = 64):
+    def trace(core: int):
+        for i in range(lines):
+            yield MemAccess(addr=(0x100000 + i * 64), work=2)
+        yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]
+
+
+class TestWiring:
+    def test_memory_controllers_at_corners(self) -> None:
+        system = System(make_params("noprefetch", num_cores=16))
+        assert sorted(system.memories) == [0, 3, 12, 15]
+
+    def test_each_tile_has_cache_and_slice(self) -> None:
+        system = System(make_params("noprefetch", num_cores=4))
+        assert len(system.caches) == 4
+        assert len(system.slices) == 4
+
+    def test_attach_workload_validates_core_count(self) -> None:
+        system = System(make_params("noprefetch", num_cores=16))
+        with pytest.raises(ConfigError):
+            system.attach_workload(_simple_traces(8))
+
+    def test_run_requires_workload(self) -> None:
+        system = System(make_params("noprefetch", num_cores=4))
+        with pytest.raises(ConfigError):
+            system.run()
+
+
+class TestExecution:
+    def test_runs_to_completion(self) -> None:
+        system = System(make_params("noprefetch", num_cores=4, l2_kb=16,
+                                    llc_slice_kb=64, l1_kb=4))
+        system.attach_workload(_simple_traces(4))
+        cycles = system.run()
+        assert cycles > 0
+        assert system.all_finished
+
+    def test_drain_empties_network(self) -> None:
+        system = System(make_params("noprefetch", num_cores=4, l2_kb=16,
+                                    llc_slice_kb=64, l1_kb=4))
+        system.attach_workload(_simple_traces(4))
+        system.run(drain=True)
+        assert system.network.inflight == 0
+
+    def test_max_cycles_guard(self) -> None:
+        from repro.common.errors import SimulationError
+        system = System(make_params("noprefetch", num_cores=4, l2_kb=16,
+                                    llc_slice_kb=64, l1_kb=4))
+        system.attach_workload(_simple_traces(4, lines=256))
+        with pytest.raises(SimulationError):
+            system.run(max_cycles=50)
+
+    def test_deterministic_across_runs(self) -> None:
+        def once() -> int:
+            system = System(make_params("ordpush", num_cores=4, l2_kb=16,
+                                        llc_slice_kb=64, l1_kb=4))
+            system.attach_workload(_simple_traces(4, lines=128))
+            return system.run()
+
+        assert once() == once()
+
+    def test_result_collection(self) -> None:
+        system = System(make_params("noprefetch", num_cores=4, l2_kb=16,
+                                    llc_slice_kb=64, l1_kb=4))
+        system.attach_workload(_simple_traces(4))
+        cycles = system.run()
+        result = collect_result(system, "unit", "noprefetch", cycles)
+        assert result.cycles == cycles
+        assert result.instructions > 0
+        assert result.total_flits > 0
+        assert result.l2_demand_accesses == 4 * 64
+
+
+class TestEndToEndValues:
+    def test_reads_observe_written_values(self) -> None:
+        """Writer/reader handoff through the LLC: the reader must see a
+        version at least as new as the writer's grant."""
+        params = make_params("noprefetch", num_cores=4, l2_kb=16,
+                             llc_slice_kb=64, l1_kb=4)
+        system = System(params)
+        line_byte = 0x200000
+
+        def writer():
+            yield MemAccess(addr=line_byte, is_write=True)
+            yield BARRIER
+            yield BARRIER
+
+        def reader():
+            yield BARRIER  # wait for the write
+            yield MemAccess(addr=line_byte)
+            yield BARRIER
+
+        def idle():
+            yield BARRIER
+            yield BARRIER
+
+        system.attach_workload([writer(), reader(), idle(), idle()])
+        system.run()
+        line = system.caches[1].read_value(line_byte)
+        assert line is not None
+        assert line >= system.versions[line_byte // 64] - 1

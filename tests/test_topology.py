@@ -1,0 +1,67 @@
+"""Mesh topology tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.noc.routing import Direction, OPPOSITE
+from repro.noc.topology import Mesh
+
+
+class TestMeshBasics:
+    def test_coords_roundtrip(self) -> None:
+        mesh = Mesh(4, 4)
+        for tile in range(16):
+            row, col = mesh.coords(tile)
+            assert mesh.tile_at(row, col) == tile
+
+    def test_corner_has_two_neighbors(self) -> None:
+        mesh = Mesh(4, 4)
+        assert len(mesh.neighbors(0)) == 2
+
+    def test_center_has_four_neighbors(self) -> None:
+        mesh = Mesh(4, 4)
+        assert len(mesh.neighbors(5)) == 4
+
+    def test_edge_rejects_out_of_range(self) -> None:
+        with pytest.raises(ConfigError):
+            Mesh(4, 4).tile_at(4, 0)
+
+    def test_rejects_empty_mesh(self) -> None:
+        with pytest.raises(ConfigError):
+            Mesh(0, 4)
+
+
+class TestNeighborSymmetry:
+    @given(st.integers(min_value=0, max_value=63))
+    def test_neighbor_relation_is_symmetric(self, tile: int) -> None:
+        mesh = Mesh(8, 8)
+        for direction, neighbor in mesh.neighbors(tile).items():
+            assert mesh.neighbor(neighbor, OPPOSITE[direction]) == tile
+
+
+class TestDistances:
+    def test_hop_distance_is_manhattan(self) -> None:
+        mesh = Mesh(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(0, 0) == 0
+        assert mesh.hop_distance(0, 3) == 3
+
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15))
+    def test_hop_distance_symmetric(self, a: int, b: int) -> None:
+        mesh = Mesh(4, 4)
+        assert mesh.hop_distance(a, b) == mesh.hop_distance(b, a)
+
+
+class TestMemoryControllers:
+    def test_4x4_has_four_corner_controllers(self) -> None:
+        assert Mesh(4, 4).memory_controller_tiles() == (0, 3, 12, 15)
+
+    def test_8x8_corners(self) -> None:
+        assert Mesh(8, 8).memory_controller_tiles() == (0, 7, 56, 63)
+
+    def test_1x1_has_one(self) -> None:
+        assert Mesh(1, 1).memory_controller_tiles() == (0,)

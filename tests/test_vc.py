@@ -1,0 +1,89 @@
+"""Virtual channel and input port tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.noc.packet import Packet
+from repro.noc.vc import InputPort, VirtualChannel
+
+
+def _packet(vnet_type: MsgType = MsgType.GETS) -> Packet:
+    return Packet(CoherenceMsg(vnet_type, 0x1, 0, (1,)), flits=1)
+
+
+class TestVirtualChannel:
+    def test_reserve_then_fill(self) -> None:
+        vc = VirtualChannel(0, 0)
+        vc.reserve()
+        assert not vc.free
+        vc.fill(_packet())
+        assert vc.packet is not None
+        assert not vc.reserved
+
+    def test_double_reserve_raises(self) -> None:
+        vc = VirtualChannel(0, 0)
+        vc.reserve()
+        with pytest.raises(SimulationError):
+            vc.reserve()
+
+    def test_fill_occupied_raises(self) -> None:
+        vc = VirtualChannel(0, 0)
+        vc.fill(_packet())
+        with pytest.raises(SimulationError):
+            vc.fill(_packet())
+
+    def test_release_returns_packet(self) -> None:
+        vc = VirtualChannel(0, 0)
+        packet = _packet()
+        vc.fill(packet)
+        assert vc.release() is packet
+        assert vc.free
+
+    def test_release_empty_raises(self) -> None:
+        with pytest.raises(SimulationError):
+            VirtualChannel(0, 0).release()
+
+    def test_cancel_reservation(self) -> None:
+        vc = VirtualChannel(0, 0)
+        vc.reserve()
+        vc.cancel_reservation()
+        assert vc.free
+
+    def test_cancel_filled_raises(self) -> None:
+        vc = VirtualChannel(0, 0)
+        vc.fill(_packet())
+        with pytest.raises(SimulationError):
+            vc.cancel_reservation()
+
+
+class TestInputPort:
+    def test_free_vc_per_vnet(self) -> None:
+        port = InputPort(num_vnets=3, vcs_per_vnet=2)
+        vc = port.free_vc(1)
+        assert vc is not None and vc.vnet == 1
+
+    def test_exhausting_a_vnet(self) -> None:
+        port = InputPort(num_vnets=3, vcs_per_vnet=2)
+        port.free_vc(0).reserve()
+        port.free_vc(0).reserve()
+        assert port.free_vc(0) is None
+        assert port.free_vc(1) is not None
+
+    def test_occupied_lists_filled_vcs(self) -> None:
+        port = InputPort(num_vnets=3, vcs_per_vnet=2)
+        vc = port.free_vc(2)
+        vc.reserve()
+        vc.fill(_packet(MsgType.INV))
+        assert port.occupied() == [vc]
+        assert port.occupied_in_vnet(2) == [vc]
+        assert port.occupied_in_vnet(0) == []
+
+    def test_empty_property(self) -> None:
+        port = InputPort(num_vnets=3, vcs_per_vnet=2)
+        assert port.empty
+        vc = port.free_vc(0)
+        vc.fill(_packet())
+        assert not port.empty

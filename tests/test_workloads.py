@@ -1,0 +1,153 @@
+"""Workload generator tests: trace validity and sharing structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.traces import BARRIER, MemAccess
+from repro.workloads.base import AddressSpace, Region
+from repro.workloads.registry import (
+    CORE_WORKLOADS,
+    PARSEC_WORKLOADS,
+    WORKLOADS,
+    build_traces,
+    suggested_window,
+    workload_names,
+)
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+def materialize(name: str, num_cores: int = 4, seed: int = 1):
+    return [list(trace) for trace in build_traces(name, num_cores,
+                                                  seed=seed)]
+
+
+class TestRegistry:
+    def test_catalogue_matches_table2(self) -> None:
+        expected = {"cachebw", "multilevel", "backprop", "mlp", "mv",
+                    "conv3d", "particlefilter", "lud", "pathfinder",
+                    "bfs", "blackscholes", "bodytrack", "fluidanimate",
+                    "freqmine", "swaptions"}
+        assert set(workload_names()) == expected
+
+    def test_core_plus_parsec_cover_all(self) -> None:
+        assert set(CORE_WORKLOADS) | set(PARSEC_WORKLOADS) == set(
+            WORKLOADS)
+
+    def test_unknown_workload_raises(self) -> None:
+        with pytest.raises(ConfigError):
+            build_traces("doom", 16)
+
+    def test_metadata_complete(self) -> None:
+        for definition in WORKLOADS.values():
+            assert definition.description
+            assert definition.paper_input
+            assert definition.sharing in ("high", "medium", "low")
+            assert definition.load in ("high", "medium", "low")
+
+    def test_suggested_windows(self) -> None:
+        assert suggested_window("mlp") is not None
+        assert suggested_window("bfs") is not None
+        assert suggested_window("cachebw") is None
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestTraceValidity:
+    def test_one_trace_per_core(self, name: str) -> None:
+        assert len(build_traces(name, 4)) == 4
+
+    def test_records_are_well_formed(self, name: str) -> None:
+        for trace in materialize(name):
+            assert trace, "empty trace"
+            for record in trace:
+                if record is BARRIER:
+                    continue
+                assert isinstance(record, MemAccess)
+                assert record.addr >= 0
+                assert record.work >= 0
+
+    def test_barrier_counts_match_across_cores(self, name: str) -> None:
+        counts = {sum(1 for r in trace if r is BARRIER)
+                  for trace in materialize(name)}
+        assert len(counts) == 1, "cores disagree on barrier count"
+
+    def test_deterministic_for_seed(self, name: str) -> None:
+        assert materialize(name, seed=3) == materialize(name, seed=3)
+
+    def test_seed_changes_jitter(self, name: str) -> None:
+        a = materialize(name, seed=1)
+        b = materialize(name, seed=2)
+        assert a != b
+
+
+class TestSharingStructure:
+    @staticmethod
+    def _shared_lines(name: str, num_cores: int = 4):
+        per_core = [
+            {record.addr // 64 for record in trace
+             if record is not BARRIER and not record.is_write
+             and record.pc != 0xFFFF}
+            for trace in materialize(name, num_cores)]
+        union = set().union(*per_core)
+        return {line: sum(line in lines for lines in per_core)
+                for line in union}
+
+    def test_cachebw_is_fully_shared(self) -> None:
+        sharers = self._shared_lines("cachebw")
+        degrees = [d for d in sharers.values()]
+        assert max(degrees) == 4
+        shared = [d for d in degrees if d > 1]
+        assert len(shared) > 0.9 * len(degrees)
+
+    def test_multilevel_shares_within_groups(self) -> None:
+        sharers = self._shared_lines("multilevel", num_cores=8)
+        degrees = [d for d in sharers.values() if d > 1]
+        assert degrees and max(degrees) == 2  # 8 cores / 4 levels
+
+    def test_blackscholes_is_private(self) -> None:
+        sharers = self._shared_lines("blackscholes")
+        assert all(degree == 1 for degree in sharers.values())
+
+    def test_mv_mixes_private_and_shared(self) -> None:
+        sharers = self._shared_lines("mv")
+        degrees = list(sharers.values())
+        assert any(d == 4 for d in degrees), "vector must be shared"
+        private = [d for d in degrees if d == 1]
+        assert len(private) > len(degrees) / 2, "matrix must dominate"
+
+    def test_writes_present_where_expected(self) -> None:
+        for name in ("lud", "pathfinder", "particlefilter"):
+            writes = sum(1 for trace in materialize(name)
+                         for r in trace
+                         if r is not BARRIER and r.is_write)
+            assert writes > 0, f"{name} should contain writes"
+
+    def test_cachebw_has_no_writes(self) -> None:
+        writes = sum(1 for trace in materialize("cachebw")
+                     for r in trace if r is not BARRIER and r.is_write)
+        assert writes == 0
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self) -> None:
+        space = AddressSpace(arena=0)
+        a = space.region("a", 100)
+        b = space.region("b", 100)
+        a_lines = {a.addr(i) // 64 for i in range(100)}
+        b_lines = {b.addr(i) // 64 for i in range(100)}
+        assert not a_lines & b_lines
+
+    def test_arenas_do_not_overlap(self) -> None:
+        a = AddressSpace(arena=1).region("a", 1000)
+        b = AddressSpace(arena=2).region("b", 1000)
+        assert a.base_line + a.lines <= b.base_line
+
+    def test_region_wraps(self) -> None:
+        region = Region("r", 100, 10)
+        assert region.addr(10) == region.addr(0)
+
+    def test_region_rejects_empty(self) -> None:
+        with pytest.raises(ValueError):
+            AddressSpace().region("x", 0)
