@@ -2,26 +2,39 @@
 
 Every benchmark regenerates one of the paper's tables or figures and
 prints the corresponding rows.  Simulations are expensive, so results
-are memoized in a session-scoped cache — figures that share runs (e.g.
-Fig. 11's speedups and Fig. 13's traffic breakdowns use the same
-simulations) pay for them once.
+are cached twice: in a session-scoped memo, and in the on-disk
+content-addressed result cache (:mod:`repro.sim.sweep`), so figures
+that share runs (e.g. Fig. 11's speedups and Fig. 13's traffic
+breakdowns use the same simulations) pay for them once — across the
+whole suite and across sessions.  Set ``REPRO_NO_CACHE=1`` to force
+fresh simulations, or ``REPRO_CACHE_DIR`` to relocate the store.
 
 All benchmarks run on the scaled cache profile (see
 ``repro.sim.config.BENCH_PROFILE``): caches and workload footprints are
 shrunk by the same 8x factor so every working-set-to-cache ratio of the
 paper's setup is preserved while one simulation completes in seconds.
+
+Every test collected here is marked ``bench`` so the tier-1 suite
+(``pytest tests/``) never pays for a figure reproduction by accident.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import pytest
 
 from repro.sim.config import bench_kwargs
 from repro.sim.results import SimResult
-from repro.sim.runner import run_workload
+from repro.sim.sweep import ResultCache, SweepPoint, run_point
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Tag every figure benchmark with the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 #: reduced workload sizes for the wide parameter sweeps
 QUICK_SIZES: Dict[str, dict] = {
@@ -49,9 +62,19 @@ SIZES_64: Dict[str, dict] = {
 _CACHE: Dict[Tuple, SimResult] = {}
 
 
+def _disk_cache() -> Optional[ResultCache]:
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    default = pathlib.Path(__file__).resolve().parent.parent / ".repro_cache"
+    return ResultCache(os.environ.get("REPRO_CACHE_DIR", default))
+
+
+_DISK_CACHE = _disk_cache()
+
+
 def run_cached(workload: str, config: str, num_cores: int = 16,
                quick: bool = False, **overrides) -> SimResult:
-    """Run one (workload, config) cell, memoized for the session."""
+    """Run one (workload, config) cell through both cache layers."""
     sizes: Dict = {}
     if quick:
         sizes.update(QUICK_SIZES.get(workload, {}))
@@ -63,8 +86,9 @@ def run_cached(workload: str, config: str, num_cores: int = 16,
     key = (workload, config, num_cores, tuple(sorted(merged.items())))
     result = _CACHE.get(key)
     if result is None:
-        result = run_workload(workload, config, num_cores=num_cores,
-                              **merged)
+        point = SweepPoint.make(workload, config, num_cores=num_cores,
+                                **merged)
+        result = run_point(point, cache=_DISK_CACHE)
         _CACHE[key] = result
     return result
 

@@ -1,0 +1,118 @@
+"""Simulator-throughput microbenchmarks (``BENCH_simperf.json``).
+
+Two measurements:
+
+* **cycles/sec** — wall-clock throughput of the per-cycle hot path on a
+  single mid-size run, the number the hot-loop optimizations move;
+* **sweep wall-clock** — a 4-point x 2-config sweep executed twice (as
+  the figure suite does: every figure re-reads the shared baseline
+  cells), comparing the seed's serial no-cache path against
+  ``run_sweep(jobs=4)`` with a cold on-disk cache.
+
+Both results, plus the improvement ratio, are written to
+``BENCH_simperf.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.sim.config import bench_kwargs
+from repro.sim.runner import run_workload
+from repro.sim.sweep import ResultCache, SweepPoint, run_sweep
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+OUTPUT = REPO_ROOT / "BENCH_simperf.json"
+
+#: the 4-point x 2-config sweep grid (small 4-core points so the
+#: serial leg stays measurable in seconds)
+SWEEP_WORKLOADS = (
+    ("pathfinder", dict(iters=6)),
+    ("mv", dict(rows_per_core=8)),
+    ("lud", dict(steps=6)),
+    ("bfs", dict(visits_per_core=300)),
+)
+SWEEP_CONFIGS = ("baseline", "ordpush")
+SWEEP_PASSES = 2  # figures re-read shared cells; model two passes
+SWEEP_JOBS = 4
+
+
+def _sweep_points():
+    return [SweepPoint.make(workload, config, num_cores=4, seed=1,
+                            **bench_kwargs(), **sizes)
+            for config in SWEEP_CONFIGS
+            for workload, sizes in SWEEP_WORKLOADS]
+
+
+def _write_record(record: dict) -> None:
+    existing = {}
+    if OUTPUT.exists():
+        try:
+            existing = json.loads(OUTPUT.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = {}
+    existing.update(record)
+    OUTPUT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+
+
+def test_simulated_cycles_per_second() -> None:
+    """Hot-path throughput: simulated cycles per wall-clock second."""
+    start = time.perf_counter()
+    result = run_workload("cachebw", "ordpush", num_cores=16, seed=1,
+                          array_lines=768, iters=2, **bench_kwargs())
+    elapsed = time.perf_counter() - start
+    cycles_per_sec = result.cycles / elapsed
+    _write_record({"hot_path": {
+        "workload": "cachebw/ordpush/16c",
+        "simulated_cycles": result.cycles,
+        "wall_seconds": round(elapsed, 4),
+        "cycles_per_sec": round(cycles_per_sec, 1),
+    }})
+    print(f"\nhot path: {result.cycles} cycles in {elapsed:.2f}s "
+          f"({cycles_per_sec:,.0f} cycles/s)")
+    assert result.cycles > 0 and elapsed > 0
+
+
+def test_sweep_speedup_over_serial() -> None:
+    """Parallel + cached sweep vs the serial seed path (>= 1.5x)."""
+    points = _sweep_points()
+
+    start = time.perf_counter()
+    serial = []
+    for _ in range(SWEEP_PASSES):
+        serial = [run_workload(p.workload, p.config, num_cores=p.num_cores,
+                               seed=p.seed, **dict(p.kwargs))
+                  for p in points]
+    serial_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        cache = ResultCache(tmp)
+        start = time.perf_counter()
+        swept = []
+        for _ in range(SWEEP_PASSES):
+            swept = run_sweep(points, jobs=SWEEP_JOBS, cache=cache)
+        sweep_s = time.perf_counter() - start
+        hits, misses = cache.hits, cache.misses
+
+    improvement = serial_s / sweep_s
+    _write_record({"sweep": {
+        "grid": f"{len(SWEEP_WORKLOADS)} points x {len(SWEEP_CONFIGS)} "
+                f"configs x {SWEEP_PASSES} passes",
+        "jobs": SWEEP_JOBS,
+        "serial_seconds": round(serial_s, 3),
+        "sweep_seconds": round(sweep_s, 3),
+        "improvement": round(improvement, 2),
+        "cache_hits": hits,
+        "cache_misses": misses,
+    }})
+    print(f"\nsweep: serial {serial_s:.2f}s vs parallel+cache "
+          f"{sweep_s:.2f}s -> {improvement:.2f}x "
+          f"({hits} hits / {misses} misses)")
+
+    # Results must be bit-identical to the serial path.
+    assert [r.to_dict() for r in swept] == [r.to_dict() for r in serial]
+    assert improvement >= 1.5

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.common.errors import ProtocolError
-from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.messages import CoherenceMsg, MsgType, TrafficClass
 from repro.common.params import SystemParams
 from repro.common.scheduler import Scheduler
 from repro.common.stats import StatGroup
@@ -83,6 +83,15 @@ class LLCSlice:
         self._dir: Dict[int, DirEntry] = {}
         self.stats = stats if stats is not None else StatGroup(f"llc_{tile}")
         self._data_flits = params.noc.data_packet_flits
+        # Bound hot-path stat cells (skip the per-event dict probe).
+        inject = self.stats.child("inject")
+        eject = self.stats.child("eject")
+        self._c_inject = {cls: inject.counter(cls.name)
+                          for cls in TrafficClass}
+        self._c_eject = {cls: eject.counter(cls.name)
+                         for cls in TrafficClass}
+        self._c_gets_served = self.stats.counter("gets_served")
+        self._push_degree_hist = self.stats.histogram("push_degree", 1, 65)
         self._next_free = 0
         #: push-disabled requesters (the PDRMap, Fig. 9)
         self.pdrmap: Set[int] = set()
@@ -102,7 +111,7 @@ class LLCSlice:
     def deliver(self, msg: CoherenceMsg) -> None:
         """Message ejected from the NoC destined for this slice."""
         flits = self._data_flits if msg.carries_data else 1
-        self.stats.child("eject").inc(msg.traffic_class.name, flits)
+        self._c_eject[msg.traffic_class].value += flits
         if (self.push.mode == "coalesce" and msg.msg_type is MsgType.GETS
                 and msg.line_addr in self._coalescing):
             # A lookup for this line is already in the pipeline: merge.
@@ -199,7 +208,7 @@ class LLCSlice:
             # unbounded-ejection model would otherwise miss.
             self.stats.inc("gets_shadow_filtered")
             return
-        self.stats.inc("gets_served")
+        self._c_gets_served.value += 1
         if (self.gets_log is not None
                 and self.watch_range[0] <= entry.line_addr
                 < self.watch_range[1]):
@@ -329,7 +338,7 @@ class LLCSlice:
         version = self.versions.get(entry.line_addr, 0)
         mode = self.push.mode
         self.stats.inc("pushes_triggered")
-        self.stats.histogram("push_degree", 1, 65).record(len(dests))
+        self._push_degree_hist.record(len(dests))
         if self.push.network_filter and self.push.shadow_cycles > 0:
             self._push_shadow[entry.line_addr] = (
                 self.scheduler.now + self.push.shadow_cycles,
@@ -593,7 +602,7 @@ class LLCSlice:
 
     def _send(self, msg: CoherenceMsg) -> None:
         flits = (self._data_flits if msg.carries_data else 1)
-        self.stats.child("inject").inc(msg.traffic_class.name, flits)
+        self._c_inject[msg.traffic_class].value += flits
         self._send_msg(msg)
 
     def directory_entry(self, line_addr: int) -> Optional[DirEntry]:

@@ -29,7 +29,7 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.common.addr import line_of
 from repro.common.errors import ProtocolError
-from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.messages import CoherenceMsg, MsgType, TrafficClass
 from repro.common.params import SystemParams
 from repro.common.scheduler import Scheduler
 from repro.common.stats import StatGroup
@@ -59,6 +59,17 @@ class PrivateCache:
         self.l2 = CacheArray(params.l2)
         self.mshrs = MSHRFile(params.l2.mshrs)
         self.stats = stats if stats is not None else StatGroup(f"l2_{tile}")
+        # Bound hot-path stat cells (skip the per-event dict probe).
+        self._c_demand_accesses = self.stats.counter("demand_accesses")
+        self._c_ejected_msgs = self.stats.counter("ejected_msgs")
+        inject = self.stats.child("inject")
+        eject = self.stats.child("eject")
+        self._c_inject = {cls: inject.counter(cls.name)
+                          for cls in TrafficClass}
+        self._c_eject = {cls: eject.counter(cls.name)
+                         for cls in TrafficClass}
+        self._miss_latency_hist = self.stats.histogram(
+            "miss_latency", bucket_width=16)
         #: newest invalidation version seen per line (data-value check)
         self._last_inv_version: Dict[int, int] = {}
         #: MSHRs that received an INV while the fill was in flight
@@ -85,7 +96,7 @@ class PrivateCache:
         """
         line_addr = line_of(byte_addr)
         if not is_prefetch:
-            self.stats.inc("demand_accesses")
+            self._c_demand_accesses.value += 1
             if self.prefetcher is not None:
                 self.prefetcher.observe(byte_addr, pc, is_write)
 
@@ -171,9 +182,9 @@ class PrivateCache:
 
     def deliver(self, msg: CoherenceMsg) -> None:
         """Message ejected from the NoC destined for this private cache."""
-        self.stats.inc("ejected_msgs")
+        self._c_ejected_msgs.value += 1
         flits = self._data_flits if msg.carries_data else 1
-        self.stats.child("eject").inc(msg.traffic_class.name, flits)
+        self._c_eject[msg.traffic_class].value += flits
         handler = {
             MsgType.DATA_S: self._on_data,
             MsgType.DATA_E: self._on_data,
@@ -260,7 +271,7 @@ class PrivateCache:
     def _finish_mshr(self, line_addr: int) -> None:
         mshr = self.mshrs.release(line_addr)
         latency = self.scheduler.now - mshr.issued_at
-        self.stats.histogram("miss_latency", bucket_width=16).record(latency)
+        self._miss_latency_hist.record(latency)
         mshr.complete()
         if self._mshr_waiters and not self.mshrs.full:
             stalled_line, is_write, on_complete = (
@@ -441,7 +452,7 @@ class PrivateCache:
 
     def _send(self, msg: CoherenceMsg) -> None:
         flits = self._data_flits if msg.carries_data else 1
-        self.stats.child("inject").inc(msg.traffic_class.name, flits)
+        self._c_inject[msg.traffic_class].value += flits
         self._send_msg(msg)
 
     def read_value(self, byte_addr: int) -> Optional[int]:

@@ -1,26 +1,31 @@
 """Command-line interface for the Push Multicast simulator.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.cli run cachebw ordpush --cores 16 --scaled
     python -m repro.cli compare cachebw --configs baseline ordpush
+    python -m repro.cli sweep cachebw --configs baseline ordpush \
+        --seeds 3 --jobs 4
     python -m repro.cli list
 
 ``run`` executes one (workload, config) cell and prints the full result
 record; ``compare`` sweeps configurations on one workload and prints a
-normalized table; ``list`` shows the workload catalogue and the named
-configurations.
+normalized table; ``sweep`` fans a (config x seed) grid out over worker
+processes through the on-disk result cache; ``list`` shows the workload
+catalogue and the named configurations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.sim.config import CONFIG_NAMES, bench_kwargs
 from repro.sim.results import PUSH_CATEGORIES, SimResult
 from repro.sim.runner import run_workload
+from repro.sim.sweep import SweepPoint, derive_seed, run_sweep
 from repro.workloads.registry import WORKLOADS, workload_names
 
 
@@ -88,6 +93,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    kwargs = _hw_kwargs(args)
+    seeds = [derive_seed(args.seed, index) for index in range(args.seeds)
+             ] if args.seeds > 1 else [args.seed]
+    points = [SweepPoint.make(args.workload, config, num_cores=args.cores,
+                              seed=seed, **kwargs)
+              for config in args.configs for seed in seeds]
+    results = run_sweep(points, jobs=args.jobs,
+                        cache=not args.no_cache)
+    print(f"{args.workload} on {args.cores} cores: "
+          f"{len(points)} points, jobs={args.jobs}, "
+          f"cache={'off' if args.no_cache else 'on'}")
+    print(f"{'config':18s}{'seed':>12s}{'cycles':>10s}{'mpki':>8s}"
+          f"{'flits':>10s}{'push acc':>10s}")
+    for point, result in zip(points, results):
+        print(f"{point.config:18s}{point.seed:12d}{result.cycles:10d}"
+              f"{result.l2_mpki:8.1f}{result.total_flits:10d}"
+              f"{result.push_accuracy():9.1%}")
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump([result.to_dict() for result in results], handle,
+                      indent=2, sort_keys=True)
+        print(f"wrote {len(results)} result records to {args.out}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads (Table II):")
     for name in workload_names():
@@ -129,6 +160,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(CONFIG_NAMES))
     common(cmp_p)
     cmp_p.set_defaults(func=_cmd_compare)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="fan a config x seed grid out over processes")
+    sweep_p.add_argument("workload", choices=workload_names())
+    sweep_p.add_argument("--configs", nargs="+",
+                         default=["baseline", "ordpush"],
+                         choices=list(CONFIG_NAMES))
+    sweep_p.add_argument("--seeds", type=int, default=1,
+                         help="number of derived seeds per config")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = run in-process)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+    sweep_p.add_argument("--out", default=None,
+                         help="write result records to this JSON file")
+    common(sweep_p)
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     list_p = sub.add_parser("list", help="show workloads and configs")
     list_p.set_defaults(func=_cmd_list)

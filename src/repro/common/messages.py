@@ -133,17 +133,17 @@ class CoherenceMsg:
     payload: int = 0
     uid: int = field(default_factory=lambda: next(_uid_counter))
 
-    @property
-    def vnet(self) -> int:
-        return _VNET_OF[self.msg_type]
+    # Derived routing attributes, resolved once at construction: the NoC
+    # reads them per flit/hop, and a message's type never changes.
+    vnet: int = field(init=False, repr=False, compare=False)
+    carries_data: bool = field(init=False, repr=False, compare=False)
+    traffic_class: TrafficClass = field(init=False, repr=False,
+                                        compare=False)
 
-    @property
-    def carries_data(self) -> bool:
-        return self.msg_type in _DATA_TYPES
-
-    @property
-    def traffic_class(self) -> TrafficClass:
-        return traffic_class_of(self.msg_type)
+    def __post_init__(self) -> None:
+        self.vnet = _VNET_OF[self.msg_type]
+        self.carries_data = self.msg_type in _DATA_TYPES
+        self.traffic_class = traffic_class_of(self.msg_type)
 
     def __repr__(self) -> str:
         dests = ",".join(map(str, self.dests))

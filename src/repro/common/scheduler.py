@@ -19,6 +19,8 @@ from repro.common.errors import SimulationError
 class Scheduler:
     """A min-heap of (cycle, sequence, callback) events."""
 
+    __slots__ = ("now", "_heap", "_seq")
+
     def __init__(self) -> None:
         self.now = 0
         self._heap: List[Tuple[int, int, Callable[[], None]]] = []

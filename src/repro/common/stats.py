@@ -1,21 +1,45 @@
 """Lightweight hierarchical statistics collection.
 
-Components own a :class:`StatGroup`; counters are plain attributes
-accessed through ``inc``/``add`` so the hot path stays cheap (one dict
-operation).  Groups nest, and :meth:`StatGroup.flatten` produces the flat
+Components own a :class:`StatGroup`; counters are :class:`Counter`
+objects stored under string keys.  Cold paths use ``inc``/``add`` with a
+string key (one dict operation); hot paths bind the counter object once
+via :meth:`StatGroup.counter` and bump ``counter.value`` directly, which
+skips the string hash + dict probe per event.  Groups nest, and
+:meth:`StatGroup.flatten` produces the flat
 ``group.subgroup.counter -> value`` mapping used by the experiment
 harnesses and by ``results.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 Number = Union[int, float]
 
 
+class Counter:
+    """One mutable counter cell.
+
+    Hot paths hold a reference and mutate :attr:`value` in place; the
+    owning :class:`StatGroup` reads it back when reporting.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0) -> None:
+        self.value = value
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
 class Histogram:
     """A fixed-bucket histogram for latency / interval distributions."""
+
+    __slots__ = ("bucket_width", "buckets", "overflow", "count", "total")
 
     def __init__(self, bucket_width: int, num_buckets: int = 64) -> None:
         if bucket_width <= 0:
@@ -39,6 +63,32 @@ class Histogram:
             self.overflow += 1
         else:
             self.buckets[index] += 1
+
+    def record_many(self, values: Iterable[Number]) -> None:
+        """Add a batch of samples in one call.
+
+        Hot loops accumulate samples into a plain list and flush it here
+        periodically, so the per-sample cost is one ``list.append``.
+        """
+        buckets = self.buckets
+        num_buckets = len(buckets)
+        width = self.bucket_width
+        count = 0
+        total = 0
+        overflow = 0
+        for value in values:
+            count += 1
+            total += value
+            index = int(value) // width
+            if index < 0:
+                index = 0
+            if index >= num_buckets:
+                overflow += 1
+            else:
+                buckets[index] += 1
+        self.count += count
+        self.total += total
+        self.overflow += overflow
 
     @property
     def mean(self) -> float:
@@ -66,27 +116,40 @@ class Histogram:
 class StatGroup:
     """A named bag of counters and nested groups."""
 
+    __slots__ = ("name", "_counters", "_histograms", "_children")
+
     def __init__(self, name: str) -> None:
         self.name = name
-        self._counters: Dict[str, Number] = {}
+        self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._children: Dict[str, "StatGroup"] = {}
 
     # -- counters ---------------------------------------------------------
 
+    def counter(self, key: str) -> Counter:
+        """Get or create the named counter as a bindable object."""
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = self._counters[key] = Counter()
+        return cell
+
     def inc(self, key: str, amount: Number = 1) -> None:
         """Increment counter ``key`` by ``amount`` (creates it at zero)."""
-        self._counters[key] = self._counters.get(key, 0) + amount
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = self._counters[key] = Counter()
+        cell.value += amount
 
     def set(self, key: str, value: Number) -> None:
-        self._counters[key] = value
+        self.counter(key).value = value
 
     def get(self, key: str, default: Number = 0) -> Number:
-        return self._counters.get(key, default)
+        cell = self._counters.get(key)
+        return cell.value if cell is not None else default
 
     def counters(self) -> Dict[str, Number]:
-        """A copy of this group's own counters (no children)."""
-        return dict(self._counters)
+        """A copy of this group's own counter values (no children)."""
+        return {key: cell.value for key, cell in self._counters.items()}
 
     # -- histograms -------------------------------------------------------
 
@@ -119,8 +182,8 @@ class StatGroup:
         """All counters in this subtree as ``dotted.path -> value``."""
         base = f"{prefix}{self.name}"
         flat: Dict[str, Number] = {}
-        for key, value in self._counters.items():
-            flat[f"{base}.{key}"] = value
+        for key, cell in self._counters.items():
+            flat[f"{base}.{key}"] = cell.value
         for child in self._children.values():
             flat.update(child.flatten(prefix=f"{base}."))
         return flat
@@ -138,8 +201,8 @@ class StatGroup:
         Used to aggregate per-tile stats into system-wide totals.
         Histograms are not merged; aggregate at recording time instead.
         """
-        for key, value in other._counters.items():
-            self.inc(key, value)
+        for key, cell in other._counters.items():
+            self.inc(key, cell.value)
         for name, child in other._children.items():
             self.child(name).merge(child)
 

@@ -22,6 +22,10 @@ from repro.noc.routing import Direction
 class NetworkInterface:
     """Injection queues and ejection hook for one tile."""
 
+    __slots__ = ("tile", "network", "_queues", "_rr_vnet", "_busy_until",
+                 "eject_hook", "stats", "_c_flits_injected",
+                 "_c_flits_ejected", "_data_flits", "_control_flits")
+
     def __init__(self, tile: int, network) -> None:
         self.tile = tile
         self.network = network
@@ -31,13 +35,17 @@ class NetworkInterface:
         self._busy_until = -1
         self.eject_hook: Optional[Callable[[CoherenceMsg], None]] = None
         self.stats = StatGroup(f"ni{tile}")
+        # Bound hot-path stat cells and packet-size constants.
+        self._c_flits_injected = self.stats.counter("flits_injected")
+        self._c_flits_ejected = self.stats.counter("flits_ejected")
+        self._data_flits = network.params.data_packet_flits
+        self._control_flits = network.params.control_packet_flits
 
     # -- injection ---------------------------------------------------------
 
     def inject(self, msg: CoherenceMsg) -> None:
         """Queue a message for injection (called by cache controllers)."""
-        flits = (self.network.params.data_packet_flits if msg.carries_data
-                 else self.network.params.control_packet_flits)
+        flits = self._data_flits if msg.carries_data else self._control_flits
         packet = Packet(msg, flits, injected_at=self.network.scheduler.now)
         self._queues[msg.vnet].append(packet)
         self.network.note_injected(packet)
@@ -68,7 +76,7 @@ class NetworkInterface:
             packet = queue.popleft()
             vc.reserve()
             self._busy_until = cycle + packet.flits - 1
-            self.stats.inc("flits_injected", packet.flits)
+            self._c_flits_injected.value += packet.flits
             self.network.scheduler.at(
                 cycle + self.network.params.link_latency,
                 lambda p=packet, v=vc: router.accept(p, Direction.LOCAL, v))
@@ -96,7 +104,7 @@ class NetworkInterface:
 
     def eject(self, packet: Packet) -> None:
         """Deliver a fully-arrived packet to the tile dispatcher."""
-        self.stats.inc("flits_ejected", packet.flits)
+        self._c_flits_ejected.value += packet.flits
         if self.eject_hook is None:
             return
         self.eject_hook(packet.msg)

@@ -12,6 +12,7 @@ Push-multicast configuration enters here through two switches:
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import SimulationError
@@ -57,9 +58,25 @@ class Network:
         self.request_filtered_hook: Optional[
             Callable[[CoherenceMsg], None]] = None
         self.inflight = 0
-        self._active_routers: set = set()
-        self._active_nis: set = set()
+        # Active components are kept as sorted id lists (compacted in
+        # place each tick) plus membership sets for O(1) de-dup on mark.
+        # Marks only ever happen from scheduler callbacks, never from
+        # inside ``tick``, so in-place compaction during iteration is
+        # safe and iteration order matches the old per-cycle sorted().
+        self._active_routers: List[int] = []
+        self._active_router_set: set = set()
+        self._active_nis: List[int] = []
+        self._active_ni_set: set = set()
         self._last_progress = 0
+        # Bound hot-path stat cells (skip the per-event dict probe).
+        self._c_packets_injected = self.stats.counter("packets_injected")
+        self._c_flits_injected = self.stats.counter("flits_injected")
+        self._c_packets_ejected = self.stats.counter("packets_ejected")
+        self._c_requests_filtered = self.stats.counter("requests_filtered")
+        self._latency_hist = self.stats.histogram(
+            "packet_latency", bucket_width=8)
+        #: pending packet-latency samples, flushed in batches
+        self._latency_batch: List[int] = []
 
     # ------------------------------------------------------------------
     # endpoint API
@@ -122,28 +139,42 @@ class Network:
 
     def note_injected(self, packet: Packet) -> None:
         self.inflight += len(packet.dests)
-        self.stats.inc("packets_injected")
-        self.stats.inc("flits_injected", packet.flits)
+        self._c_packets_injected.value += 1
+        self._c_flits_injected.value += packet.flits
 
     def note_filtered_request(self, packet: Packet) -> None:
         """A GETS was pruned by the in-network filter."""
         self.inflight -= 1
-        self.stats.inc("requests_filtered")
+        self._c_requests_filtered.value += 1
         if self.request_filtered_hook is not None:
             self.request_filtered_hook(packet.msg)
 
     def mark_router_active(self, router: Router) -> None:
-        self._active_routers.add(router.id)
+        router_id = router.id
+        if router_id not in self._active_router_set:
+            self._active_router_set.add(router_id)
+            insort(self._active_routers, router_id)
 
     def mark_ni_active(self, ni: NetworkInterface) -> None:
-        self._active_nis.add(ni.tile)
+        tile = ni.tile
+        if tile not in self._active_ni_set:
+            self._active_ni_set.add(tile)
+            insort(self._active_nis, tile)
 
     def _eject(self, tile: int, packet: Packet) -> None:
         self.inflight -= 1
-        self.stats.inc("packets_ejected")
-        latency = self.scheduler.now - packet.injected_at
-        self.stats.histogram("packet_latency", bucket_width=8).record(latency)
+        self._c_packets_ejected.value += 1
+        batch = self._latency_batch
+        batch.append(self.scheduler.now - packet.injected_at)
+        if len(batch) >= 1024:
+            self.flush_stat_batches()
         self.interfaces[tile].eject(packet)
+
+    def flush_stat_batches(self) -> None:
+        """Fold batched samples into their histograms (idempotent)."""
+        if self._latency_batch:
+            self._latency_hist.record_many(self._latency_batch)
+            self._latency_batch.clear()
 
     # ------------------------------------------------------------------
     # simulation loop
@@ -155,20 +186,40 @@ class Network:
         return self.inflight > 0
 
     def tick(self, cycle: int) -> None:
-        """One cycle of injection and switch allocation everywhere."""
-        if self._active_nis:
-            for tile in sorted(self._active_nis):
-                ni = self.interfaces[tile]
+        """One cycle of injection and switch allocation everywhere.
+
+        The active lists are already sorted (maintained by insort on
+        mark) and are compacted in place, so no per-cycle copy or sort
+        is performed.
+        """
+        nis = self._active_nis
+        if nis:
+            interfaces = self.interfaces
+            ni_set = self._active_ni_set
+            write = 0
+            for tile in nis:
+                ni = interfaces[tile]
                 ni.tick(cycle)
-                if not ni.has_backlog:
-                    self._active_nis.discard(tile)
-        if self._active_routers:
-            for router_id in sorted(self._active_routers):
-                router = self.routers[router_id]
+                if ni.has_backlog:
+                    nis[write] = tile
+                    write += 1
+                else:
+                    ni_set.remove(tile)
+            del nis[write:]
+        active = self._active_routers
+        if active:
+            routers = self.routers
+            router_set = self._active_router_set
+            write = 0
+            for router_id in active:
+                router = routers[router_id]
                 if router.busy:
                     router.tick(cycle)
+                    active[write] = router_id
+                    write += 1
                 else:
-                    self._active_routers.discard(router_id)
+                    router_set.remove(router_id)
+            del active[write:]
         if (self.inflight > 0
                 and cycle - self._last_progress > DEADLOCK_WATCHDOG_CYCLES):
             raise SimulationError(
@@ -185,6 +236,7 @@ class Network:
 
     def traffic_breakdown(self) -> Dict[TrafficClass, int]:
         """Flit-hops by traffic class (paper Figs. 3 and 13)."""
+        self.flush_stat_batches()
         return dict(self.traffic_flits)
 
     def link_load_matrix(self) -> Dict[Tuple[int, str], int]:

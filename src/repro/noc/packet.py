@@ -26,7 +26,8 @@ class Packet:
     """
 
     __slots__ = ("msg", "dests", "flits", "injected_at", "pid",
-                 "arrival_cycle", "output_ports", "pending_ports")
+                 "arrival_cycle", "output_ports", "pending_ports",
+                 "vnet", "line_addr")
 
     def __init__(self, msg: CoherenceMsg, flits: int,
                  dests: Optional[Tuple[int, ...]] = None,
@@ -42,14 +43,9 @@ class Packet:
         self.output_ports = None
         #: output ports not yet granted (asynchronous multicast residue)
         self.pending_ports = None
-
-    @property
-    def vnet(self) -> int:
-        return self.msg.vnet
-
-    @property
-    def line_addr(self) -> int:
-        return self.msg.line_addr
+        # Cached per-hop routing keys (read once per hop per flit).
+        self.vnet = msg.vnet
+        self.line_addr = msg.line_addr
 
     @property
     def is_multicast(self) -> bool:

@@ -81,6 +81,13 @@ class Router:
         self._occupied: List[Tuple[VirtualChannel, Direction]] = []
         self._rr_offset = 0
         self.stats = StatGroup(f"router{router_id}")
+        # Bound hot-path stat cells (skip the per-event dict probe).
+        self._c_requests_filtered = self.stats.counter("requests_filtered")
+        self._c_filter_registrations = self.stats.counter(
+            "filter_registrations")
+        self._c_requests_filtered_stationary = self.stats.counter(
+            "requests_filtered_stationary")
+        self._c_inv_stalled = self.stats.counter("inv_stalled_behind_push")
 
     def _port_directions(self) -> List[Direction]:
         directions = [Direction.LOCAL]
@@ -105,7 +112,7 @@ class Router:
             if self._filter_lookup(packet, in_dir):
                 vc.cancel_reservation()
                 net.note_filtered_request(packet)
-                self.stats.inc("requests_filtered")
+                self._c_requests_filtered.value += 1
                 return
 
         vc.fill(packet)
@@ -129,7 +136,7 @@ class Router:
         for direction, dests in ports.items():
             self.output_ports[direction].filter.register(
                 packet.pid, packet.line_addr, dests)
-            self.stats.inc("filter_registrations")
+            self._c_filter_registrations.value += 1
             if prune:
                 self._stationary_filter(direction, packet.line_addr, dests)
 
@@ -148,7 +155,7 @@ class Router:
                 vc.release()
                 self._forget(vc)
                 self.network.note_filtered_request(request)
-                self.stats.inc("requests_filtered_stationary")
+                self._c_requests_filtered_stationary.value += 1
 
     def _forget(self, vc: VirtualChannel) -> None:
         for index, (occupied_vc, _) in enumerate(self._occupied):
@@ -194,7 +201,7 @@ class Router:
                     continue
                 if (ordpush and packet.msg.msg_type is MsgType.INV
                         and out.filter.has_line(packet.line_addr)):
-                    self.stats.inc("inv_stalled_behind_push")
+                    self._c_inv_stalled.value += 1
                     continue
                 downstream_vc = self.network.try_reserve(
                     self.id, direction, packet.vnet)

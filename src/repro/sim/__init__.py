@@ -2,15 +2,21 @@
 
 from repro.sim.config import ABLATION_STEPS, CONFIG_NAMES, make_params
 from repro.sim.results import SimResult
-from repro.sim.runner import run_system, run_workload
+from repro.sim.runner import run_comparison, run_system, run_workload
+from repro.sim.sweep import ResultCache, SweepPoint, run_point, run_sweep
 from repro.sim.system import System
 
 __all__ = [
     "ABLATION_STEPS",
     "CONFIG_NAMES",
+    "ResultCache",
     "SimResult",
+    "SweepPoint",
     "System",
     "make_params",
+    "run_comparison",
+    "run_point",
+    "run_sweep",
     "run_system",
     "run_workload",
 ]

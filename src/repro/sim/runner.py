@@ -9,12 +9,16 @@
 Workload names resolve through :mod:`repro.workloads.registry`; any
 keyword accepted by :func:`repro.sim.config.make_params` can be passed
 through, plus workload sizing keywords (forwarded to the generator).
+
+``run_comparison`` is built on the sweep engine
+(:mod:`repro.sim.sweep`): configurations can fan out over worker
+processes (``jobs``) and reuse the on-disk result cache (``cache``).
 """
 
 from __future__ import annotations
 
 import inspect
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.params import SystemParams
 from repro.sim.config import make_params
@@ -23,6 +27,40 @@ from repro.sim.system import System
 
 _CONFIG_KEYWORDS = frozenset(
     inspect.signature(make_params).parameters) - {"config"}
+
+
+def split_kwargs(workload: str, kwargs: Dict) -> Tuple[Dict, Dict]:
+    """Split mixed keywords into (hardware, workload-sizing) dicts.
+
+    Keywords understood by :func:`make_params` configure the hardware;
+    the rest size the workload generator.  Dependence-limited workloads
+    get their suggested outstanding-miss window unless the caller set
+    one explicitly — the same rule :func:`run_workload` has always
+    applied, factored out so the sweep cache hashes the exact
+    configuration that will run.
+    """
+    from repro.workloads.registry import suggested_window
+
+    hw_kwargs: Dict = {}
+    wl_kwargs: Dict = {}
+    for key, value in kwargs.items():
+        if key in _CONFIG_KEYWORDS:
+            hw_kwargs[key] = value
+        else:
+            wl_kwargs[key] = value
+    if "max_outstanding" not in hw_kwargs:
+        window = suggested_window(workload)
+        if window is not None:
+            hw_kwargs["max_outstanding"] = window
+    return hw_kwargs, wl_kwargs
+
+
+def resolve_point(workload: str, config: str, num_cores: int,
+                  **kwargs) -> Tuple[SystemParams, Dict]:
+    """Resolve a simulation point to (hardware params, workload sizes)."""
+    hw_kwargs, wl_kwargs = split_kwargs(workload, kwargs)
+    params = make_params(config, num_cores=num_cores, **hw_kwargs)
+    return params, wl_kwargs
 
 
 def run_system(params: SystemParams, traces: List, workload: str = "custom",
@@ -46,20 +84,9 @@ def run_workload(workload: str, config: str = "baseline",
     :func:`make_params` configure the hardware; the rest size the
     workload generator.
     """
-    from repro.workloads.registry import build_traces, suggested_window
+    from repro.workloads.registry import build_traces
 
-    hw_kwargs: Dict = {}
-    wl_kwargs: Dict = {}
-    for key, value in kwargs.items():
-        if key in _CONFIG_KEYWORDS:
-            hw_kwargs[key] = value
-        else:
-            wl_kwargs[key] = value
-    if "max_outstanding" not in hw_kwargs:
-        window = suggested_window(workload)
-        if window is not None:
-            hw_kwargs["max_outstanding"] = window
-    params = make_params(config, num_cores=num_cores, **hw_kwargs)
+    params, wl_kwargs = resolve_point(workload, config, num_cores, **kwargs)
     traces = build_traces(workload, num_cores=num_cores, seed=seed,
                           **wl_kwargs)
     return run_system(params, traces, workload=workload, config=config,
@@ -68,8 +95,20 @@ def run_workload(workload: str, config: str = "baseline",
 
 def run_comparison(workload: str, configs: List[str],
                    num_cores: int = 16, seed: int = 1,
+                   jobs: int = 1, cache=False,
+                   max_cycles: int = 100_000_000,
                    **kwargs) -> Dict[str, SimResult]:
-    """Run one workload under several configurations."""
-    return {config: run_workload(workload, config, num_cores=num_cores,
-                                 seed=seed, **kwargs)
-            for config in configs}
+    """Run one workload under several configurations.
+
+    ``jobs`` > 1 fans the configurations out over worker processes;
+    ``cache`` enables the on-disk result cache (pass ``True`` for the
+    default location, or a :class:`~repro.sim.sweep.ResultCache`).
+    Results are identical to serial execution for the same seed.
+    """
+    from repro.sim.sweep import SweepPoint, run_sweep
+
+    points = [SweepPoint.make(workload, config, num_cores=num_cores,
+                              seed=seed, max_cycles=max_cycles, **kwargs)
+              for config in configs]
+    results = run_sweep(points, jobs=jobs, cache=cache)
+    return dict(zip(configs, results))

@@ -1,0 +1,259 @@
+"""Parallel sweep execution with a content-addressed result cache.
+
+Every figure in the paper is a sweep over independent
+``(workload, config, num_cores, seed)`` simulation points, so the sweep
+engine exploits two structural facts:
+
+* points are embarrassingly parallel — :func:`run_sweep` fans them out
+  over a :class:`concurrent.futures.ProcessPoolExecutor`;
+* many sweeps share points (every figure normalizes to the same
+  baseline runs) — results are cached on disk, keyed by a stable hash
+  of everything that determines the outcome.
+
+Cache key
+---------
+
+A point's key is the SHA-256 of a canonical JSON document containing:
+
+* the full resolved :class:`~repro.common.params.SystemParams`
+  (``dataclasses.asdict``, sorted keys) — any hardware knob change,
+  including defaults applied by ``make_params``, changes the key;
+* the workload spec: name, core count, seed, and sizing keywords;
+* ``max_cycles``; and
+* :data:`CACHE_SCHEMA_VERSION` — bump it whenever simulator semantics
+  change so stale results can never be replayed.
+
+Results round-trip through :meth:`SimResult.to_dict` /
+``from_dict`` as JSON files under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable).  Corrupt or unreadable
+entries are treated as misses.
+
+Determinism
+-----------
+
+Workers receive the full point spec and rebuild params and traces from
+the seed, so a sweep's results are bit-identical to serial execution
+regardless of ``jobs``; :func:`run_sweep` returns results in submission
+order.  Duplicate points in one sweep are simulated once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.results import SimResult
+
+#: Bump when simulator behavior changes in any result-visible way; every
+#: previously cached entry becomes unreachable (a miss) under the new
+#: version.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    ``kwargs`` holds the mixed hardware/workload keywords exactly as a
+    caller would pass them to ``run_workload``, as a sorted tuple of
+    pairs so points are hashable and order-insensitive.
+    """
+
+    workload: str
+    config: str = "baseline"
+    num_cores: int = 16
+    seed: int = 1
+    max_cycles: int = 100_000_000
+    kwargs: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(cls, workload: str, config: str = "baseline",
+             num_cores: int = 16, seed: int = 1,
+             max_cycles: int = 100_000_000, **kwargs) -> "SweepPoint":
+        """Build a point from plain keyword arguments."""
+        return cls(workload=workload, config=config, num_cores=num_cores,
+                   seed=seed, max_cycles=max_cycles,
+                   kwargs=tuple(sorted(kwargs.items())))
+
+    def label(self) -> str:
+        return (f"{self.workload}/{self.config}/"
+                f"{self.num_cores}c/s{self.seed}")
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A deterministic, well-spread per-point seed for repetition sweeps.
+
+    Uses an LCG-style mix so ``(base, 0), (base, 1), ...`` and
+    ``(base+1, 0), ...`` never collide in practice; the same inputs
+    always give the same seed on every platform and Python version.
+    """
+    return ((base_seed * 1_000_003 + index * 7_919 + 12_345)
+            & 0x7FFF_FFFF) or 1
+
+
+def expand_seeds(point: SweepPoint, num_seeds: int) -> List[SweepPoint]:
+    """Replicate one point across ``num_seeds`` derived seeds."""
+    return [SweepPoint(point.workload, point.config, point.num_cores,
+                       derive_seed(point.seed, index), point.max_cycles,
+                       point.kwargs)
+            for index in range(num_seeds)]
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable content hash of everything that determines the result."""
+    from repro.sim.runner import resolve_point
+
+    params, wl_kwargs = resolve_point(
+        point.workload, point.config, point.num_cores,
+        **dict(point.kwargs))
+    spec = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "params": asdict(params),
+        "workload": {
+            "name": point.workload,
+            "config": point.config,
+            "num_cores": point.num_cores,
+            "seed": point.seed,
+            "sizes": wl_kwargs,
+        },
+        "max_cycles": point.max_cycles,
+    }
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"),
+                           default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`SimResult` records."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for a key, or None (corrupt files miss)."""
+        path = self.path_for(key)
+        try:
+            result = SimResult.load_json(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Persist a result atomically (write-to-temp then rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, sort_keys=True)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def _resolve_cache(cache) -> Optional[ResultCache]:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    return cache
+
+
+def _execute_point(point: SweepPoint) -> Dict:
+    """Worker entry: simulate one point, return a picklable dict."""
+    from repro.sim.runner import run_workload
+
+    result = run_workload(point.workload, point.config,
+                          num_cores=point.num_cores,
+                          max_cycles=point.max_cycles,
+                          seed=point.seed, **dict(point.kwargs))
+    return result.to_dict()
+
+
+def run_point(point: SweepPoint, cache=None) -> SimResult:
+    """Run (or fetch) one point through the result cache."""
+    store = _resolve_cache(cache)
+    if store is None:
+        return SimResult.from_dict(_execute_point(point))
+    key = point_key(point)
+    result = store.get(key)
+    if result is None:
+        result = SimResult.from_dict(_execute_point(point))
+        store.put(key, result)
+    return result
+
+
+def run_sweep(points: Sequence[Union[SweepPoint, dict]],
+              jobs: int = 1, cache=None) -> List[SimResult]:
+    """Run a batch of simulation points; results in submission order.
+
+    ``jobs`` > 1 distributes uncached points over that many worker
+    processes.  ``cache`` is ``None``/``False`` (off), ``True``
+    (default on-disk location), or a :class:`ResultCache`.  Duplicate
+    points are simulated once and the shared result is fanned back to
+    every submission slot.
+    """
+    normalized: List[SweepPoint] = [
+        SweepPoint.make(**p) if isinstance(p, dict) else p for p in points]
+    store = _resolve_cache(cache)
+    keys = [point_key(p) for p in normalized]
+
+    results: Dict[str, SimResult] = {}
+    if store is not None:
+        for key in keys:
+            if key not in results:
+                hit = store.get(key)
+                if hit is not None:
+                    results[key] = hit
+
+    pending: List[Tuple[str, SweepPoint]] = []
+    seen = set(results)
+    for key, point in zip(keys, normalized):
+        if key not in seen:
+            seen.add(key)
+            pending.append((key, point))
+
+    if pending:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                dicts = list(pool.map(
+                    _execute_point, [p for _, p in pending]))
+        else:
+            dicts = [_execute_point(p) for _, p in pending]
+        for (key, _), data in zip(pending, dicts):
+            result = SimResult.from_dict(data)
+            results[key] = result
+            if store is not None:
+                store.put(key, result)
+
+    return [results[key] for key in keys]

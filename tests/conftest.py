@@ -9,6 +9,12 @@ from repro.common.scheduler import Scheduler
 from repro.noc.network import Network
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Tag every tier-1 test with the ``quick`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.quick)
+
+
 @pytest.fixture
 def scheduler() -> Scheduler:
     return Scheduler()

@@ -53,3 +53,33 @@ class TestCommands:
                      "--scaled", "--tpc-threshold", "8",
                      "--time-window", "300", "--link-bits", "256"])
         assert code == 0
+
+    def test_sweep_parses(self) -> None:
+        args = build_parser().parse_args(
+            ["sweep", "cachebw", "--configs", "baseline", "ordpush",
+             "--seeds", "3", "--jobs", "4", "--no-cache"])
+        assert args.workload == "cachebw"
+        assert args.seeds == 3 and args.jobs == 4 and args.no_cache
+
+    def test_sweep_small(self, capsys, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "pathfinder", "--configs", "noprefetch",
+                     "ordpush", "--cores", "4", "--scaled", "--seeds", "2",
+                     "--jobs", "2", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "4 points" in printed and "ordpush" in printed
+        import json
+        records = json.loads(out.read_text())
+        assert len(records) == 4
+        assert {r["config"] for r in records} == {"noprefetch", "ordpush"}
+
+    def test_sweep_no_cache_runs_fresh(self, capsys, tmp_path,
+                                       monkeypatch) -> None:
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        code = main(["sweep", "pathfinder", "--configs", "noprefetch",
+                     "--cores", "4", "--scaled", "--no-cache"])
+        assert code == 0
+        assert not cache_dir.exists()

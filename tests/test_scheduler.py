@@ -68,3 +68,53 @@ class TestScheduler:
         assert sched.pending == 2
         sched.run_due(1)
         assert sched.pending == 1
+
+    def test_next_event_cycle_after_drain(self) -> None:
+        """Once every event ran, the scheduler reports idle again."""
+        sched = Scheduler()
+        sched.at(3, lambda: None)
+        sched.at(7, lambda: None)
+        sched.run_due(7)
+        assert sched.next_event_cycle() is None
+        assert sched.pending == 0
+        sched.at(9, lambda: None)
+        assert sched.next_event_cycle() == 9
+
+    def test_same_cycle_reentrant_chain_runs_in_order(self) -> None:
+        """Events scheduled by same-cycle events run in scheduling order,
+        interleaved after already-queued peers."""
+        sched = Scheduler()
+        log = []
+
+        def first() -> None:
+            log.append("first")
+            sched.at(4, lambda: log.append("nested-1"))
+            sched.at(4, lambda: log.append("nested-2"))
+
+        sched.at(4, first)
+        sched.at(4, lambda: log.append("second"))
+        sched.run_due(4)
+        assert log == ["first", "second", "nested-1", "nested-2"]
+
+    def test_callback_scheduling_into_past_raises(self) -> None:
+        """A callback at cycle N cannot schedule before N."""
+        sched = Scheduler()
+        errors = []
+
+        def bad() -> None:
+            try:
+                sched.at(2, lambda: None)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sched.at(5, bad)
+        sched.run_due(5)
+        assert len(errors) == 1
+
+    def test_after_zero_delay_runs_this_cycle(self) -> None:
+        sched = Scheduler()
+        sched.run_due(3)
+        fired = []
+        sched.at(4, lambda: sched.after(0, lambda: fired.append(sched.now)))
+        sched.run_due(4)
+        assert fired == [4]
