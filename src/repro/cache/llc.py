@@ -93,6 +93,7 @@ class LLCSlice:
         self._c_gets_served = self.stats.counter("gets_served")
         self._push_degree_hist = self.stats.histogram("push_degree", 1, 65)
         self._next_free = 0
+        self._coalesce = self.push.mode == "coalesce"
         #: push-disabled requesters (the PDRMap, Fig. 9)
         self.pdrmap: Set[int] = set()
         #: coalescing windows: line -> extra GETS gathered during lookup
@@ -112,17 +113,16 @@ class LLCSlice:
         """Message ejected from the NoC destined for this slice."""
         flits = self._data_flits if msg.carries_data else 1
         self._c_eject[msg.traffic_class].value += flits
-        if (self.push.mode == "coalesce" and msg.msg_type is MsgType.GETS
-                and msg.line_addr in self._coalescing):
-            # A lookup for this line is already in the pipeline: merge.
-            self._coalescing[msg.line_addr].append(msg)
-            self.stats.inc("coalesced_requests")
-            return
+        if self._coalesce and msg.msg_type is MsgType.GETS:
+            if msg.line_addr in self._coalescing:
+                # A lookup for this line is already in the pipeline: merge.
+                self._coalescing[msg.line_addr].append(msg)
+                self.stats.inc("coalesced_requests")
+                return
+            self._coalescing[msg.line_addr] = []
         now = self.scheduler.now
         start = max(now, self._next_free)
         self._next_free = start + 1
-        if self.push.mode == "coalesce" and msg.msg_type is MsgType.GETS:
-            self._coalescing.setdefault(msg.line_addr, [])
         latency = self.params.llc_slice.hit_latency
         self.scheduler.at(start + latency, lambda: self._process(msg))
 

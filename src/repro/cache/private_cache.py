@@ -81,6 +81,15 @@ class PrivateCache:
         self.tpc = 0
         self.upc = 0
         self.prefetcher = None  # wired by the system after construction
+        # Static ingress dispatch (built once; deliver() is hot).
+        self._handlers = {
+            MsgType.DATA_S: self._on_data,
+            MsgType.DATA_E: self._on_data,
+            MsgType.PUSH: self._on_push,
+            MsgType.INV: self._on_inv,
+            MsgType.DOWNGRADE: self._on_downgrade,
+            MsgType.WB_ACK: self._on_wb_ack,
+        }
 
     # ------------------------------------------------------------------
     # core-facing API
@@ -185,18 +194,14 @@ class PrivateCache:
         self._c_ejected_msgs.value += 1
         flits = self._data_flits if msg.carries_data else 1
         self._c_eject[msg.traffic_class].value += flits
-        handler = {
-            MsgType.DATA_S: self._on_data,
-            MsgType.DATA_E: self._on_data,
-            MsgType.PUSH: self._on_push,
-            MsgType.INV: self._on_inv,
-            MsgType.DOWNGRADE: self._on_downgrade,
-            MsgType.WB_ACK: lambda m: None,
-        }.get(msg.msg_type)
+        handler = self._handlers.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(
                 f"private cache {self.tile} cannot handle {msg}")
         handler(msg)
+
+    def _on_wb_ack(self, msg: CoherenceMsg) -> None:
+        pass  # writeback acknowledged; nothing left to do
 
     def note_request_filtered(self, line_addr: int) -> None:
         """The in-network filter pruned our GETS; the push will serve it."""
@@ -389,8 +394,7 @@ class PrivateCache:
     def _make_room(self, line_addr: int, for_push: bool) -> bool:
         """Free a way in the line's L2 set; False if impossible."""
         try:
-            victim = self.l2.evict_victim(
-                line_addr, evictable=lambda line: not line.blocked)
+            victim = self.l2.evict_victim(line_addr, skip_blocked=True)
         except LookupError:
             return False
         if victim is not None:

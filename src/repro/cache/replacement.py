@@ -41,8 +41,10 @@ class LRUPolicy(ReplacementPolicy):
         self._stamps[set_index][way] = self._stamp
 
     def victim(self, set_index: int, candidates: Sequence[int]) -> int:
-        stamps = self._stamps[set_index]
-        return min(candidates, key=lambda way: stamps[way])
+        # Stamps are globally unique, so the minimum is unique and the
+        # candidate order cannot matter; list.__getitem__ keeps the key
+        # call at C level.
+        return min(candidates, key=self._stamps[set_index].__getitem__)
 
 
 class TreePLRUPolicy(ReplacementPolicy):

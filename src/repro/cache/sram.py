@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.common.addr import AddressMap
 from repro.common.params import CacheParams
 from repro.cache.replacement import LRUPolicy, ReplacementPolicy
 
@@ -48,21 +47,24 @@ class CacheArray:
         self.params = params
         self.num_sets = params.num_sets
         self.assoc = params.assoc
+        self._set_mask = self.num_sets - 1  # num_sets is a power of two
         self._sets: List[Dict[int, CacheLine]] = [
             {} for _ in range(self.num_sets)]
         self._ways: List[Dict[int, int]] = [
             {} for _ in range(self.num_sets)]  # line_addr -> way
+        self._way_addr: List[List[Optional[int]]] = [
+            [None] * self.assoc for _ in range(self.num_sets)]
         self._free_ways: List[List[int]] = [
             list(range(self.assoc)) for _ in range(self.num_sets)]
         self._policy = policy_factory(self.num_sets, self.assoc)
 
     def set_index(self, line_addr: int) -> int:
-        return AddressMap.set_index(line_addr, self.num_sets)
+        return line_addr & self._set_mask
 
     def lookup(self, line_addr: int, touch: bool = True
                ) -> Optional[CacheLine]:
         """The resident line, or None.  Updates recency when ``touch``."""
-        index = self.set_index(line_addr)
+        index = line_addr & self._set_mask
         line = self._sets[index].get(line_addr)
         if line is not None and touch:
             self._policy.touch(index, self._ways[index][line_addr])
@@ -70,7 +72,7 @@ class CacheArray:
 
     def install(self, line: CacheLine) -> None:
         """Place a line; the caller must have ensured a free way exists."""
-        index = self.set_index(line.line_addr)
+        index = line.line_addr & self._set_mask
         if line.line_addr in self._sets[index]:
             raise KeyError(f"line 0x{line.line_addr:x} already resident")
         if not self._free_ways[index]:
@@ -78,33 +80,45 @@ class CacheArray:
         way = self._free_ways[index].pop()
         self._sets[index][line.line_addr] = line
         self._ways[index][line.line_addr] = way
+        self._way_addr[index][way] = line.line_addr
         self._policy.touch(index, way)
 
     def evict_victim(self, line_addr: int,
-                     evictable: Callable[[CacheLine], bool] = lambda l: True
-                     ) -> Optional[CacheLine]:
+                     evictable: Optional[Callable[[CacheLine], bool]] = None,
+                     skip_blocked: bool = False) -> Optional[CacheLine]:
         """Free a way in ``line_addr``'s set; returns the evicted line.
 
         Returns None when a way was already free (nothing evicted) and
         raises LookupError when every resident line fails ``evictable``
         (the caller decides what to do — e.g. drop a pushed line).
+        ``evictable=None`` means every resident line is fair game;
+        ``skip_blocked`` excludes transaction-pinned lines without the
+        cost of a per-line predicate call.
         """
-        index = self.set_index(line_addr)
+        index = line_addr & self._set_mask
         if self._free_ways[index]:
             return None
-        candidates = [self._ways[index][addr]
-                      for addr, line in self._sets[index].items()
-                      if evictable(line)]
-        if not candidates:
-            raise LookupError("no evictable line in set")
+        ways = self._ways[index]
+        if skip_blocked:
+            candidates = [ways[addr]
+                          for addr, line in self._sets[index].items()
+                          if not line.blocked]
+            if not candidates:
+                raise LookupError("no evictable line in set")
+        elif evictable is None:
+            candidates = list(ways.values())
+        else:
+            candidates = [ways[addr]
+                          for addr, line in self._sets[index].items()
+                          if evictable(line)]
+            if not candidates:
+                raise LookupError("no evictable line in set")
         way = self._policy.victim(index, candidates)
-        victim_addr = next(addr for addr, w in self._ways[index].items()
-                           if w == way)
-        return self._remove(index, victim_addr)
+        return self._remove(index, self._way_addr[index][way])
 
     def remove(self, line_addr: int) -> Optional[CacheLine]:
         """Invalidate a specific line if resident."""
-        index = self.set_index(line_addr)
+        index = line_addr & self._set_mask
         if line_addr not in self._sets[index]:
             return None
         return self._remove(index, line_addr)
@@ -112,11 +126,12 @@ class CacheArray:
     def _remove(self, index: int, line_addr: int) -> CacheLine:
         line = self._sets[index].pop(line_addr)
         way = self._ways[index].pop(line_addr)
+        self._way_addr[index][way] = None
         self._free_ways[index].append(way)
         return line
 
     def has_free_way(self, line_addr: int) -> bool:
-        return bool(self._free_ways[self.set_index(line_addr)])
+        return bool(self._free_ways[line_addr & self._set_mask])
 
     def resident_lines(self) -> List[CacheLine]:
         """All resident lines (test/debug helper)."""

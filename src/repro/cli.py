@@ -18,9 +18,12 @@ catalogue and the named configurations.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.sim.config import CONFIG_NAMES, bench_kwargs
 from repro.sim.results import PUSH_CATEGORIES, SimResult
@@ -63,12 +66,41 @@ def _print_result(result: SimResult) -> None:
             print(f"    {name:24s} {result.push_usage[name]}")
 
 
+def _with_profile(args: argparse.Namespace,
+                  body: Callable[[], int]) -> int:
+    """Run ``body``, optionally under ``cProfile`` (``--profile``).
+
+    The raw ``pstats`` dump goes to the given path (loadable with
+    ``pstats.Stats`` or snakeviz) and a top-25 cumulative-time summary
+    is printed, so perf work is measured rather than guessed.
+    """
+    if not getattr(args, "profile", None):
+        return body()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = body()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"\nprofile dump written to {args.profile}; "
+              f"top 25 by cumulative time:")
+        print(stream.getvalue())
+    return status
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_workload(args.workload, args.config,
-                          num_cores=args.cores, seed=args.seed,
-                          **_hw_kwargs(args))
-    _print_result(result)
-    return 0
+    def body() -> int:
+        result = run_workload(args.workload, args.config,
+                              num_cores=args.cores, seed=args.seed,
+                              **_hw_kwargs(args))
+        _print_result(result)
+        return 0
+
+    return _with_profile(args, body)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -94,6 +126,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _with_profile(args, lambda: _run_sweep_cmd(args))
+
+
+def _run_sweep_cmd(args: argparse.Namespace) -> int:
     kwargs = _hw_kwargs(args)
     seeds = [derive_seed(args.seed, index) for index in range(args.seeds)
              ] if args.seeds > 1 else [args.seed]
@@ -146,10 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tpc-threshold", type=int, default=None)
         p.add_argument("--time-window", type=int, default=None)
 
+    def profiled(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile", nargs="?", const="repro_profile.pstats",
+            default=None, metavar="PSTATS",
+            help="wrap the simulation in cProfile; write the pstats "
+                 "dump here (default repro_profile.pstats) and print a "
+                 "top-25 cumulative summary.  With sweep --jobs > 1 "
+                 "only the parent process is profiled.")
+
     run_p = sub.add_parser("run", help="run one workload/config cell")
     run_p.add_argument("workload", choices=workload_names())
     run_p.add_argument("config", choices=list(CONFIG_NAMES))
     common(run_p)
+    profiled(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="sweep configs on a workload")
@@ -176,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--out", default=None,
                          help="write result records to this JSON file")
     common(sweep_p)
+    profiled(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
 
     list_p = sub.add_parser("list", help="show workloads and configs")

@@ -23,12 +23,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from enum import Enum, auto
+from enum import IntEnum, auto
 from typing import Optional, Tuple
 
 
-class MsgType(Enum):
-    """Every protocol message exchanged over the NoC."""
+class MsgType(IntEnum):
+    """Every protocol message exchanged over the NoC.
+
+    An ``IntEnum`` so the many per-message table lookups (vnet map,
+    dispatch sets, handler dicts) hash at C level instead of through
+    ``Enum.__hash__``.
+    """
 
     GETS = auto()        #: read request (may carry the need_push bit)
     GETM = auto()        #: write / read-for-ownership request
@@ -73,7 +78,7 @@ _DATA_TYPES = frozenset({
 })
 
 
-class TrafficClass(Enum):
+class TrafficClass(IntEnum):
     """NoC traffic categories used by the paper's breakdowns (Figs 3/13)."""
 
     READ_SHARED_DATA = auto()
@@ -139,11 +144,16 @@ class CoherenceMsg:
     carries_data: bool = field(init=False, repr=False, compare=False)
     traffic_class: TrafficClass = field(init=False, repr=False,
                                         compare=False)
+    traffic_idx: int = field(init=False, repr=False, compare=False)
+    """``traffic_class.value`` cached as a plain int — the NoC's
+    per-flit accounting indexes a list with it instead of hashing the
+    enum member."""
 
     def __post_init__(self) -> None:
         self.vnet = _VNET_OF[self.msg_type]
         self.carries_data = self.msg_type in _DATA_TYPES
         self.traffic_class = traffic_class_of(self.msg_type)
+        self.traffic_idx = self.traffic_class.value
 
     def __repr__(self) -> str:
         dests = ",".join(map(str, self.dests))

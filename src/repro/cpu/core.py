@@ -32,8 +32,12 @@ class Barrier:
         self._waiting.append(core)
         if len(self._waiting) == self.num_cores:
             waiting, self._waiting = self._waiting, []
-            for waiter in waiting:
-                waiter.resume_from_barrier()
+            # Release everyone with one bulk insert; list order matches
+            # the per-waiter scheduling order of the scalar path.
+            scheduler = core.scheduler
+            steps = [waiter._step for waiter in waiting
+                     if waiter.prepare_resume()]
+            scheduler.at_many(scheduler.now, steps)
 
 
 class Core:
@@ -61,6 +65,10 @@ class Core:
         self.finished = False
         self.finish_cycle: Optional[int] = None
         self.instructions = 0
+        # Bound hot-path stat cells (skip the per-event dict probe).
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_completions = self.stats.counter("completions")
+        self._c_window_stalls = self.stats.counter("window_stalls")
 
     # ------------------------------------------------------------------
 
@@ -97,7 +105,7 @@ class Core:
                 self._schedule_step(self._ready_cycle - now)
                 return
             if self._outstanding >= self.params.max_outstanding:
-                self.stats.inc("window_stalls")
+                self._c_window_stalls.value += 1
                 return  # a completion will re-step us
             self._issue(record)
 
@@ -118,20 +126,32 @@ class Core:
         self._pending = None
         self._outstanding += 1
         self.instructions += record.instructions
-        self.stats.inc("accesses")
+        self._c_accesses.value += 1
         self._last_issue = self.scheduler.now
         self.cache.access(record.addr, record.is_write, self._on_complete,
                           pc=record.pc)
 
     def _on_complete(self) -> None:
         self._outstanding -= 1
-        self.stats.inc("completions")
+        self._c_completions.value += 1
         if not self._at_barrier:
             self._schedule_step(0)
             return
         # We cannot be at a barrier with operations still issuing; the
         # barrier is only entered once the window drained.
         raise AssertionError("completion while parked at a barrier")
+
+    def prepare_resume(self) -> bool:
+        """Leave the barrier; True when a step must be scheduled.
+
+        Split from :meth:`resume_from_barrier` so the barrier can batch
+        all wakeups into one ``Scheduler.at_many`` insert.
+        """
+        self._at_barrier = False
+        if self._step_scheduled:
+            return False
+        self._step_scheduled = True
+        return True
 
     def resume_from_barrier(self) -> None:
         self._at_barrier = False

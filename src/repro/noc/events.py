@@ -1,0 +1,93 @@
+"""Pooled link-transfer event objects (zero-allocation hot path).
+
+Arrivals, ejections, and lazy filter deregistrations fire hundreds of
+thousands of times per run; allocating a closure for each would dominate
+the scheduler's cost.  Instead these small ``__slots__`` callables are
+recycled through per-network free lists: an event returns itself to its
+pool *before* invoking its payload, so the payload can immediately
+schedule a new event without growing the pool.
+
+The classes only duck-type against :class:`repro.noc.network.Network`
+(they touch its pools, scheduler, and wake bookkeeping) — no import, so
+both the network and the router can construct them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.noc.routing import Direction
+
+
+class LinkArrival:
+    """Pooled event: a packet head reaching the downstream input VC."""
+
+    __slots__ = ("network", "router", "packet", "in_dir", "vc")
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.router = None
+        self.packet = None
+        self.in_dir = Direction.LOCAL
+        self.vc = None
+
+    def __call__(self) -> None:
+        router = self.router
+        packet = self.packet
+        in_dir = self.in_dir
+        vc = self.vc
+        self.router = None
+        self.packet = None
+        self.vc = None
+        self.network._arrival_pool.append(self)
+        router.accept(packet, in_dir, vc)
+
+
+class Ejection:
+    """Pooled event: a packet tail arriving at its destination tile."""
+
+    __slots__ = ("network", "tile", "packet")
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.tile = 0
+        self.packet = None
+
+    def __call__(self) -> None:
+        network = self.network
+        tile = self.tile
+        packet = self.packet
+        self.packet = None
+        network._eject_pool.append(self)
+        network._eject(tile, packet)
+
+
+class Deregister:
+    """Pooled event: lazy removal of a push's filter registration.
+
+    Also wakes the owning router — an OrdPush INV stalled behind the
+    registered line (the only dormancy cause with no time-known wake
+    besides credits) may become grantable this very cycle.
+    """
+
+    __slots__ = ("network", "router", "filter", "pid", "line_addr")
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.router = None
+        self.filter = None
+        self.pid = 0
+        self.line_addr = 0
+
+    def __call__(self) -> None:
+        network = self.network
+        router = self.router
+        self.filter.deregister(self.pid, self.line_addr)
+        self.router = None
+        self.filter = None
+        network._dereg_pool.append(self)
+        now = network.scheduler.now
+        if now < router.next_tick:
+            router.next_tick = now
+        if now < network._next_work:
+            network._next_work = now

@@ -6,6 +6,16 @@ per cycle over the local link; ejection hands completed packets to the
 tile's message dispatcher (endpoints always sink — the standard
 consumption assumption; protocol-level blocking such as the push drop
 rule is modelled inside the cache controllers instead).
+
+Event-driven execution: the NI is self-waking via ``next_tick``.  After
+an injection (or while the local link is still streaming flits) the next
+attempt is at ``busy_until + 1``; a backlogged NI whose every non-empty
+vnet is blocked — no free local VC, or an OrdPush INV held behind a
+queued same-line push — goes dormant (``next_tick = NEVER``) and is
+re-woken by the credit-return callback of a local-port VC or by a fresh
+``inject``.  The blocking push is itself VC-blocked in that state, so
+the credit wake also covers the INV hold; an unproductive tick mutates
+nothing, so spurious wakes are safe.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.scheduler import NEVER
 from repro.common.stats import StatGroup
 from repro.noc.packet import Packet
 from repro.noc.routing import Direction
@@ -22,17 +33,26 @@ from repro.noc.routing import Direction
 class NetworkInterface:
     """Injection queues and ejection hook for one tile."""
 
-    __slots__ = ("tile", "network", "_queues", "_rr_vnet", "_busy_until",
-                 "eject_hook", "stats", "_c_flits_injected",
-                 "_c_flits_ejected", "_data_flits", "_control_flits")
+    __slots__ = ("tile", "network", "_queues", "_backlog", "_rr_vnet",
+                 "_busy_until", "next_tick", "eject_hook", "stats",
+                 "_c_flits_injected", "_c_flits_ejected", "_data_flits",
+                 "_control_flits", "_link_latency", "_vnet_orders")
 
     def __init__(self, tile: int, network) -> None:
         self.tile = tile
         self.network = network
         num_vnets = network.params.num_vnets
         self._queues: tuple = tuple(deque() for _ in range(num_vnets))
+        # Precomputed round-robin visit orders: _vnet_orders[start] is
+        # the vnet sequence starting at ``start`` (no per-step modulo).
+        self._vnet_orders = tuple(
+            tuple((start + step) % num_vnets for step in range(num_vnets))
+            for start in range(num_vnets))
+        self._backlog = 0
         self._rr_vnet = 0
         self._busy_until = -1
+        #: next cycle an injection attempt could succeed (NEVER = dormant)
+        self.next_tick = NEVER
         self.eject_hook: Optional[Callable[[CoherenceMsg], None]] = None
         self.stats = StatGroup(f"ni{tile}")
         # Bound hot-path stat cells and packet-size constants.
@@ -40,6 +60,7 @@ class NetworkInterface:
         self._c_flits_ejected = self.stats.counter("flits_ejected")
         self._data_flits = network.params.data_packet_flits
         self._control_flits = network.params.control_packet_flits
+        self._link_latency = network.params.link_latency
 
     # -- injection ---------------------------------------------------------
 
@@ -48,40 +69,55 @@ class NetworkInterface:
         flits = self._data_flits if msg.carries_data else self._control_flits
         packet = Packet(msg, flits, injected_at=self.network.scheduler.now)
         self._queues[msg.vnet].append(packet)
+        self._backlog += 1
         self.network.note_injected(packet)
         self.network.mark_ni_active(self)
 
     @property
     def has_backlog(self) -> bool:
-        return any(self._queues)
+        return self._backlog > 0
 
     def tick(self, cycle: int) -> bool:
         """Try to start injecting one queued packet into the local port."""
-        if self._busy_until >= cycle or not self.has_backlog:
+        if self._busy_until >= cycle:
+            self.next_tick = (
+                self._busy_until + 1 if self._backlog else NEVER)
+            return False
+        if not self._backlog:
+            self.next_tick = NEVER
             return False
         router = self.network.routers[self.tile]
-        local = router.input_ports[Direction.LOCAL]
+        local = router.input_ports[0]  # Direction.LOCAL == 0
         num_vnets = len(self._queues)
-        for step in range(num_vnets):
-            vnet = (self._rr_vnet + step) % num_vnets
+        for vnet in self._vnet_orders[self._rr_vnet]:
             queue: Deque[Packet] = self._queues[vnet]
             if not queue:
                 continue
             if (vnet == 2 and self.network.ordered_pushes
                     and self._inv_blocked(queue[0])):
                 continue
-            vc = local.free_vc(vnet)
+            vc = None
+            for cand in local.vcs[vnet]:  # free_vc inlined
+                if cand.packet is None and not cand.reserved:
+                    vc = cand
+                    break
             if vc is None:
                 continue
             packet = queue.popleft()
-            vc.reserve()
+            self._backlog -= 1
+            vc.reserved = True  # vc.reserve() inlined; just checked free
             self._busy_until = cycle + packet.flits - 1
             self._c_flits_injected.value += packet.flits
-            self.network.scheduler.at(
-                cycle + self.network.params.link_latency,
-                lambda p=packet, v=vc: router.accept(p, Direction.LOCAL, v))
+            self.network.schedule_arrival(
+                router, packet, Direction.LOCAL, vc,
+                cycle + self._link_latency)
             self._rr_vnet = (vnet + 1) % num_vnets
+            self.next_tick = (
+                self._busy_until + 1 if self._backlog else NEVER)
             return True
+        # Every non-empty vnet is VC-blocked or INV-held: go dormant;
+        # the local-port credit return (or a new inject) wakes us.
+        self.next_tick = NEVER
         return False
 
     def _inv_blocked(self, packet: Packet) -> bool:
@@ -93,10 +129,10 @@ class NetworkInterface:
         filter (the in-router stall of §III-F only covers registered
         pushes).
         """
-        if packet.msg.msg_type is not MsgType.INV:
+        if packet.msg_type is not MsgType.INV:
             return False
         line = packet.line_addr
-        return any(queued.msg.msg_type is MsgType.PUSH
+        return any(queued.msg_type is MsgType.PUSH
                    and queued.line_addr == line
                    for queued in self._queues[1])
 

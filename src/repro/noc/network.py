@@ -1,8 +1,18 @@
 """Network top level: routers, links, interfaces, and global accounting.
 
-The network is cycle-driven but only *active* routers and interfaces are
-ticked, and the runner fast-forwards across cycles where nothing is in
-flight, which keeps low-load workloads (the PARSEC proxies) cheap.
+The network is event-driven: routers and interfaces publish the next
+cycle they could possibly act (``next_tick``), the network folds those
+into ``_next_work``, and the runner jumps straight to the next event or
+work cycle.  Components blocked on downstream credits go dormant and are
+re-woken by the credit-return callback of the VC they are waiting on
+(wired here, one callback per input-port feeder), so congested cycles
+where no progress is possible cost nothing.  Spurious wakes are always
+safe — a tick that cannot grant or inject mutates nothing — so the wake
+rules only need to be conservative, never exact.
+
+Link transfer is allocation-free on the hot path: arrivals, ejections,
+and lazy filter deregistrations are pooled callable event objects that
+are recycled through free lists instead of per-dispatch lambdas.
 
 Push-multicast configuration enters here through two switches:
 
@@ -18,12 +28,14 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.common.errors import SimulationError
 from repro.common.messages import CoherenceMsg, TrafficClass
 from repro.common.params import NoCParams
-from repro.common.scheduler import Scheduler
+from repro.common.scheduler import NEVER, Scheduler
 from repro.common.stats import StatGroup
+from repro.noc.events import Deregister, Ejection, LinkArrival
 from repro.noc.interface import NetworkInterface
 from repro.noc.packet import Packet
 from repro.noc.router import Router
-from repro.noc.routing import Direction, OPPOSITE, RoutingTables
+from repro.noc.routing import (ALL_DIRECTIONS, Direction, NUM_PORTS,
+                               OPPOSITE, RoutingTables)
 from repro.noc.topology import Mesh
 from repro.noc.vc import VirtualChannel
 
@@ -52,14 +64,15 @@ class Network:
         self.interfaces: List[NetworkInterface] = [
             NetworkInterface(tile, self) for tile in range(self.mesh.num_tiles)]
         self.stats = StatGroup("network")
-        self.link_load: Dict[Tuple[int, Direction], int] = {}
-        self.traffic_flits: Dict[TrafficClass, int] = {
-            cls: 0 for cls in TrafficClass}
+        #: per-link flit counts, a flat array indexed
+        #: (router_id << 3) | direction (zero = link unused)
+        self._link_load: List[int] = [0] * (self.mesh.num_tiles << 3)
+        self._traffic_flits: List[int] = [0] * (len(TrafficClass) + 1)
         self.request_filtered_hook: Optional[
             Callable[[CoherenceMsg], None]] = None
         self.inflight = 0
         # Active components are kept as sorted id lists (compacted in
-        # place each tick) plus membership sets for O(1) de-dup on mark.
+        # place each sweep) plus membership sets for O(1) de-dup on mark.
         # Marks only ever happen from scheduler callbacks, never from
         # inside ``tick``, so in-place compaction during iteration is
         # safe and iteration order matches the old per-cycle sorted().
@@ -68,6 +81,42 @@ class Network:
         self._active_nis: List[int] = []
         self._active_ni_set: set = set()
         self._last_progress = 0
+        #: earliest cycle any router/NI could act (min of next_ticks)
+        self._next_work = NEVER
+        #: id of the router currently being swept, -1 outside the router
+        #: sweep — credit wakes use it to decide same-cycle vs next-cycle
+        self._sweep_pos = -1
+        self._link_latency = params.link_latency
+        # Free lists for the pooled link-transfer events.
+        self._arrival_pool: List[LinkArrival] = []
+        self._eject_pool: List[Ejection] = []
+        self._dereg_pool: List[Deregister] = []
+        # Precomputed downstream lookups: [router_id][direction] -> the
+        # neighbour Router / its facing InputPort (replaces per-grant
+        # mesh.neighbor + OPPOSITE chains on the hot path).
+        self._downstream_router: List[List[Optional[Router]]] = []
+        self._downstream_port: List[List[Optional]] = []
+        for tile in range(self.mesh.num_tiles):
+            row_r: List[Optional[Router]] = [None] * NUM_PORTS
+            row_p: List[Optional] = [None] * NUM_PORTS
+            for direction in ALL_DIRECTIONS[1:]:
+                neighbor = self.mesh.neighbor(tile, direction)
+                if neighbor is not None:
+                    row_r[direction] = self.routers[neighbor]
+                    row_p[direction] = (
+                        self.routers[neighbor].input_ports[OPPOSITE[direction]])
+            self._downstream_router.append(row_r)
+            self._downstream_port.append(row_p)
+        # Per-router [direction] -> the downstream input port's per-vnet
+        # VC lists (None for LOCAL/off-mesh): lets the switch-allocation
+        # loop scan downstream credits without any function call.
+        for router in self.routers:
+            router._downstream_vcs = [
+                port.vcs if port is not None else None
+                for port in self._downstream_port[router.id]]
+            router._unicast = [vnet_table[router.id]
+                               for vnet_table in self.tables._unicast]
+        self._wire_credit_callbacks()
         # Bound hot-path stat cells (skip the per-event dict probe).
         self._c_packets_injected = self.stats.counter("packets_injected")
         self._c_flits_injected = self.stats.counter("flits_injected")
@@ -77,6 +126,58 @@ class Network:
             "packet_latency", bucket_width=8)
         #: pending packet-latency samples, flushed in batches
         self._latency_batch: List[int] = []
+
+    def _wire_credit_callbacks(self) -> None:
+        """Point every input VC's credit return at its upstream feeder.
+
+        A VC freeing *is* the credit-return event: the feeder (the
+        neighbour router across the link, or the tile's NI for the LOCAL
+        port) may be dormant waiting for exactly this credit.  Wake
+        timing preserves the old per-cycle sweep order: frees during the
+        event phase allow a same-cycle retry; frees during the router
+        sweep (a retiring single-flit packet) reach NIs — already ticked
+        this cycle — and already-swept routers next cycle, but a
+        not-yet-swept router (higher id) the same cycle.
+        """
+        for router in self.routers:
+            tile = router.id
+            for in_dir, port in enumerate(router.input_ports):
+                if port is None:
+                    continue
+                if in_dir == Direction.LOCAL:
+                    callback = self._make_ni_waker(self.interfaces[tile])
+                else:
+                    feeder = self.routers[
+                        self.mesh.neighbor(tile, Direction(in_dir))]
+                    callback = self._make_router_waker(feeder)
+                for group in port.vcs:
+                    for vc in group:
+                        vc.credit_cb = callback
+
+    def _make_ni_waker(self, ni: NetworkInterface) -> Callable[[], None]:
+        def wake() -> None:
+            cycle = self.scheduler.now
+            if self._sweep_pos >= 0:
+                cycle += 1
+            if cycle < ni.next_tick:
+                ni.next_tick = cycle
+            if cycle < self._next_work:
+                self._next_work = cycle
+        return wake
+
+    def _make_router_waker(self, feeder: Router) -> Callable[[], None]:
+        feeder_id = feeder.id
+
+        def wake() -> None:
+            cycle = self.scheduler.now
+            pos = self._sweep_pos
+            if pos >= 0 and feeder_id <= pos:
+                cycle += 1
+            if cycle < feeder.next_tick:
+                feeder.next_tick = cycle
+            if cycle < self._next_work:
+                self._next_work = cycle
+        return wake
 
     # ------------------------------------------------------------------
     # endpoint API
@@ -101,13 +202,12 @@ class Network:
         hop is an ejection (always accepted), or ``False`` when no
         downstream credit is available this cycle.
         """
-        if direction is Direction.LOCAL:
+        if not direction:  # Direction.LOCAL == 0: ejection
             return None
-        neighbor = self.mesh.neighbor(router_id, direction)
-        if neighbor is None:
+        in_port = self._downstream_port[router_id][direction]
+        if in_port is None:
             raise SimulationError(
                 f"route leaves the mesh at router {router_id} {direction}")
-        in_port = self.routers[neighbor].input_ports[OPPOSITE[direction]]
         vc = in_port.free_vc(vnet)
         if vc is None:
             return False
@@ -118,24 +218,46 @@ class Network:
                  downstream_vc: Optional[VirtualChannel], cycle: int) -> None:
         """Move a granted replica across the link (or eject it)."""
         self._last_progress = cycle
-        link_latency = self.params.link_latency
-        if direction is Direction.LOCAL:
-            arrival = cycle + 1 + link_latency + branch.flits - 1
+        link_latency = self._link_latency
+        if not direction:  # Direction.LOCAL == 0: ejection
+            pool = self._eject_pool
+            event = pool.pop() if pool else Ejection(self)
+            event.tile = router_id
+            event.packet = branch
             self.scheduler.at(
-                arrival, lambda: self._eject(router_id, branch))
+                cycle + 1 + link_latency + branch.flits - 1, event)
             return
-        neighbor = self.mesh.neighbor(router_id, direction)
-        target = self.routers[neighbor]
-        in_dir = OPPOSITE[direction]
-        self.scheduler.at(
-            cycle + 1 + link_latency,
-            lambda: target.accept(branch, in_dir, downstream_vc))
+        self.schedule_arrival(
+            self._downstream_router[router_id][direction], branch,
+            OPPOSITE[direction], downstream_vc, cycle + 1 + link_latency)
+
+    def schedule_arrival(self, router: Router, packet: Packet,
+                         in_dir: Direction,
+                         vc: Optional[VirtualChannel], cycle: int) -> None:
+        """Schedule a pooled head-arrival event at ``router``."""
+        pool = self._arrival_pool
+        event = pool.pop() if pool else LinkArrival(self)
+        event.router = router
+        event.packet = packet
+        event.in_dir = in_dir
+        event.vc = vc
+        self.scheduler.at(cycle, event)
+
+    def schedule_deregister(self, router: Router, out, pid: int,
+                            line_addr: int, cycle: int) -> None:
+        """Schedule a pooled lazy filter deregistration at ``cycle``."""
+        pool = self._dereg_pool
+        event = pool.pop() if pool else Deregister(self)
+        event.router = router
+        event.filter = out.filter
+        event.pid = pid
+        event.line_addr = line_addr
+        self.scheduler.at(cycle, event)
 
     def record_link_load(self, router_id: int, direction: Direction,
                          packet: Packet, flits: int) -> None:
-        key = (router_id, direction)
-        self.link_load[key] = self.link_load.get(key, 0) + flits
-        self.traffic_flits[packet.msg.traffic_class] += flits
+        self._link_load[(router_id << 3) | direction] += flits
+        self._traffic_flits[packet.msg.traffic_idx] += flits
 
     def note_injected(self, packet: Packet) -> None:
         self.inflight += len(packet.dests)
@@ -150,12 +272,26 @@ class Network:
             self.request_filtered_hook(packet.msg)
 
     def mark_router_active(self, router: Router) -> None:
+        # Called from the event phase (an accept); the new packet leaves
+        # buffer write at now + 1, which is the earliest possible grant.
+        wake = self.scheduler.now + 1
+        if wake < router.next_tick:
+            router.next_tick = wake
+        if wake < self._next_work:
+            self._next_work = wake
         router_id = router.id
         if router_id not in self._active_router_set:
             self._active_router_set.add(router_id)
             insort(self._active_routers, router_id)
 
     def mark_ni_active(self, ni: NetworkInterface) -> None:
+        # Called from the event phase (an inject); injection is possible
+        # the same cycle, before the NI sweep runs.
+        now = self.scheduler.now
+        if now < ni.next_tick:
+            ni.next_tick = now
+        if now < self._next_work:
+            self._next_work = now
         tile = ni.tile
         if tile not in self._active_ni_set:
             self._active_ni_set.add(tile)
@@ -185,41 +321,77 @@ class Network:
         """True while any packet is queued, buffered, or on a link."""
         return self.inflight > 0
 
+    def next_work_cycle(self) -> int:
+        """Earliest cycle any router or NI could act (NEVER when idle).
+
+        May be stale-low after in-sweep wakes — the runner's strictly
+        increasing cycle and the no-op safety of spurious ticks make
+        that harmless.
+        """
+        return self._next_work
+
+    def watchdog_deadline(self) -> int:
+        """First cycle the no-progress watchdog would trip."""
+        return self._last_progress + DEADLOCK_WATCHDOG_CYCLES + 1
+
     def tick(self, cycle: int) -> None:
         """One cycle of injection and switch allocation everywhere.
 
-        The active lists are already sorted (maintained by insort on
-        mark) and are compacted in place, so no per-cycle copy or sort
-        is performed.
+        A no-op (bar the watchdog check) when no component's
+        ``next_tick`` has come due; otherwise sweeps active NIs then
+        active routers in ascending id order — identical to the old
+        per-cycle order — skipping components whose wake cycle is still
+        in the future, and rebuilds ``_next_work`` from the survivors.
         """
-        nis = self._active_nis
-        if nis:
-            interfaces = self.interfaces
-            ni_set = self._active_ni_set
-            write = 0
-            for tile in nis:
-                ni = interfaces[tile]
-                ni.tick(cycle)
-                if ni.has_backlog:
-                    nis[write] = tile
-                    write += 1
-                else:
-                    ni_set.remove(tile)
-            del nis[write:]
-        active = self._active_routers
-        if active:
-            routers = self.routers
-            router_set = self._active_router_set
-            write = 0
-            for router_id in active:
-                router = routers[router_id]
-                if router.busy:
-                    router.tick(cycle)
-                    active[write] = router_id
-                    write += 1
-                else:
-                    router_set.remove(router_id)
-            del active[write:]
+        if cycle >= self._next_work:
+            self._next_work = NEVER
+            work = NEVER
+            nis = self._active_nis
+            if nis:
+                interfaces = self.interfaces
+                ni_set = self._active_ni_set
+                dropped = False
+                for tile in nis:
+                    ni = interfaces[tile]
+                    if ni.next_tick <= cycle:
+                        ni.tick(cycle)
+                    if ni._backlog:
+                        if ni.next_tick < work:
+                            work = ni.next_tick
+                    else:
+                        ni_set.remove(tile)
+                        dropped = True
+                if dropped:
+                    # Compact only when something actually went idle —
+                    # the steady-state sweep then stays store-free.
+                    nis[:] = [tile for tile in nis if tile in ni_set]
+            active = self._active_routers
+            if active:
+                routers = self.routers
+                router_set = self._active_router_set
+                dropped = False
+                for router_id in active:
+                    router = routers[router_id]
+                    if router._occupied:
+                        if router.next_tick <= cycle:
+                            self._sweep_pos = router_id
+                            router.tick(cycle)
+                            if router._occupied:
+                                if router.next_tick < work:
+                                    work = router.next_tick
+                            else:
+                                router_set.remove(router_id)
+                                dropped = True
+                        elif router.next_tick < work:
+                            work = router.next_tick
+                    else:
+                        router_set.remove(router_id)
+                        dropped = True
+                self._sweep_pos = -1
+                if dropped:
+                    active[:] = [r for r in active if r in router_set]
+            if work < self._next_work:
+                self._next_work = work
         if (self.inflight > 0
                 and cycle - self._last_progress > DEADLOCK_WATCHDOG_CYCLES):
             raise SimulationError(
@@ -230,16 +402,23 @@ class Network:
     # reporting
     # ------------------------------------------------------------------
 
+    @property
+    def link_load(self) -> Dict[Tuple[int, Direction], int]:
+        """Per-link flit counts keyed (router, Direction)."""
+        return {(key >> 3, Direction(key & 7)): flits
+                for key, flits in enumerate(self._link_load) if flits}
+
     def total_flits(self) -> int:
         """Total flit-hops transmitted over all router output ports."""
-        return sum(self.link_load.values())
+        return sum(self._link_load)
 
     def traffic_breakdown(self) -> Dict[TrafficClass, int]:
         """Flit-hops by traffic class (paper Figs. 3 and 13)."""
         self.flush_stat_batches()
-        return dict(self.traffic_flits)
+        flits = self._traffic_flits
+        return {cls: flits[cls.value] for cls in TrafficClass}
 
     def link_load_matrix(self) -> Dict[Tuple[int, str], int]:
         """Per-link flit counts keyed by (router, direction name) — Fig 14."""
-        return {(router, direction.name.lower()): flits
-                for (router, direction), flits in self.link_load.items()}
+        return {(key >> 3, Direction(key & 7).name.lower()): flits
+                for key, flits in enumerate(self._link_load) if flits}

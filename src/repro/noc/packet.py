@@ -27,7 +27,7 @@ class Packet:
 
     __slots__ = ("msg", "dests", "flits", "injected_at", "pid",
                  "arrival_cycle", "output_ports", "pending_ports",
-                 "vnet", "line_addr")
+                 "vnet", "line_addr", "msg_type", "traffic_idx")
 
     def __init__(self, msg: CoherenceMsg, flits: int,
                  dests: Optional[Tuple[int, ...]] = None,
@@ -46,6 +46,8 @@ class Packet:
         # Cached per-hop routing keys (read once per hop per flit).
         self.vnet = msg.vnet
         self.line_addr = msg.line_addr
+        self.msg_type = msg.msg_type
+        self.traffic_idx = msg.traffic_idx
 
     @property
     def is_multicast(self) -> bool:

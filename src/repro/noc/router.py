@@ -24,22 +24,44 @@ Multicasts are asynchronous (§III-E): the packet rests in its input VC
 and competes independently for each computed output port; replicas leave
 as ports and downstream credits become available.
 
-Implementation note: ports are stored in lists indexed by the
-:class:`~repro.noc.routing.Direction` IntEnum, and switch allocation
-iterates the (few) occupied VCs rather than all port/VC pairs — both
-matter for Python-level simulation speed.
+Event-driven execution: the router is *self-waking*.  ``tick`` records
+``next_tick`` — the next cycle switch allocation could possibly grant:
+``arrival_cycle + 1`` for packets still in the buffer-write stage,
+``busy_until + 1`` for packets behind an occupied output port, and the
+very next cycle after any grant.  A router whose packets are all blocked
+on *downstream credits* or on an OrdPush filter stall goes dormant
+(``next_tick = NEVER``) and is re-woken by the credit-return callback of
+the downstream VC or by the push's lazy deregistration event, so cycles
+where a congested router cannot make progress cost nothing.
+
+Round-robin equivalence: the per-cycle simulator rotated ``_rr_offset``
+once per tick while the router was busy.  Skipped ticks are replayed in
+bulk — ``(offset + skipped) % count`` — which is exact as long as the
+occupied-VC count was constant over the skipped span.  Every membership
+change (packet arrival, stationary filtering) happens in a scheduler
+event that also wakes the router, so ``accept`` folds the rotation
+with the *old* count right before the membership changes.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+from heapq import heappush
 from typing import List, Optional, Tuple
 
 from repro.common.messages import MsgType
+from repro.common.scheduler import _FREE, _MASK, NEVER
 from repro.common.stats import StatGroup
+from repro.noc.events import Ejection, LinkArrival
 from repro.noc.filter import InNetworkFilter
 from repro.noc.packet import Packet
-from repro.noc.routing import Direction, NUM_PORTS
+from repro.noc.routing import Direction, NUM_PORTS, OPPOSITE
 from repro.noc.vc import InputPort, VirtualChannel
+
+# Hot-loop member handles (skip the enum attribute lookup per packet).
+_GETS = MsgType.GETS
+_PUSH = MsgType.PUSH
+_INV = MsgType.INV
 
 
 class OutputPort:
@@ -77,9 +99,23 @@ class Router:
                 params.num_vnets, params.vcs_per_vnet)
             self.output_ports[direction] = OutputPort(
                 direction, filter_capacity)
-        #: (vc, input_direction) pairs currently holding a packet
-        self._occupied: List[Tuple[VirtualChannel, Direction]] = []
+        #: input VCs currently holding a packet (round-robin order)
+        self._occupied: List[VirtualChannel] = []
+        #: [direction] -> downstream input port's per-vnet VC lists
+        #: (wired by the owning Network; None for LOCAL/off-mesh)
+        self._downstream_vcs: List[Optional[list]] = [None] * NUM_PORTS
+        #: [vnet][dest] -> shared unicast port tuple for *this* router
+        #: (wired by the owning Network; a slice of RoutingTables)
+        self._unicast: Optional[list] = None
         self._rr_offset = 0
+        #: next cycle switch allocation could grant (NEVER = dormant)
+        self.next_tick = NEVER
+        # Per-network constants, cached (set once at network creation).
+        self._filter_on = network.filter_enabled
+        self._ordpush = network.ordered_pushes
+        self._push_tracking = network.filter_enabled or network.ordered_pushes
+        #: last cycle the rotation state was advanced through
+        self._last_tick = -1
         self.stats = StatGroup(f"router{router_id}")
         # Bound hot-path stat cells (skip the per-event dict probe).
         self._c_requests_filtered = self.stats.counter("requests_filtered")
@@ -102,25 +138,56 @@ class Router:
                vc: VirtualChannel) -> None:
         """Install an arriving packet (head flit) into its reserved VC."""
         net = self.network
-        packet.arrival_cycle = net.scheduler.now
-        ports = net.tables.output_ports(packet.vnet, self.id, packet.dests)
+        now = net.scheduler.now
+        packet.arrival_cycle = now
+        dests = packet.dests
+        if len(dests) == 1:
+            ports = self._unicast[packet.vnet][dests[0]]
+        else:
+            ports = net.tables.output_port_list(packet.vnet, self.id, dests)
         packet.output_ports = ports
-        packet.pending_ports = dict(ports)
+        packet.pending_ports = list(ports)
 
-        msg_type = packet.msg.msg_type
-        if net.filter_enabled and msg_type is MsgType.GETS:
+        msg_type = packet.msg_type
+        if self._filter_on and msg_type is _GETS:
             if self._filter_lookup(packet, in_dir):
                 vc.cancel_reservation()
                 net.note_filtered_request(packet)
                 self._c_requests_filtered.value += 1
                 return
 
-        vc.fill(packet)
-        self._occupied.append((vc, in_dir))
-        net.mark_router_active(self)
+        # Fold skipped round-robin rotations before the membership
+        # change.  The per-cycle simulator advanced ``_rr_offset`` once
+        # per busy cycle; modular catch-up is only exact while the
+        # occupied count is constant, so the pending rotation is folded
+        # with the *old* count up to ``now - 1`` — the last cycle the
+        # old membership could have been ticked.
+        occupied = self._occupied
+        count = len(occupied)
+        if count:
+            delta = now - 1 - self._last_tick
+            if delta > 0:
+                self._rr_offset = (self._rr_offset + delta) % count
+        self._last_tick = now - 1
 
-        if ((net.filter_enabled or net.ordered_pushes)
-                and msg_type is MsgType.PUSH):
+        vc.packet = packet  # vc.fill() inlined; the arrival consumes
+        vc.reserved = False  # the reservation made at transmit time
+        occupied.append(vc)
+
+        # Wake for switch allocation (mark_router_active inlined): the
+        # packet leaves buffer write at now + 1, the earliest grant.
+        wake = now + 1
+        if wake < self.next_tick:
+            self.next_tick = wake
+        if wake < net._next_work:
+            net._next_work = wake
+        router_id = self.id
+        active_set = net._active_router_set
+        if router_id not in active_set:
+            active_set.add(router_id)
+            insort(net._active_routers, router_id)
+
+        if self._push_tracking and msg_type is _PUSH:
             self._register_push(packet, ports)
 
     def _filter_lookup(self, packet: Packet, in_dir: Direction) -> bool:
@@ -133,14 +200,14 @@ class Router:
     def _register_push(self, packet: Packet, ports) -> None:
         """Filter Registration plus Stationary Filtering / Filtering at Port."""
         prune = self.network.filter_enabled
-        for direction, dests in ports.items():
+        for direction, dests in ports:
             self.output_ports[direction].filter.register(
                 packet.pid, packet.line_addr, dests)
             self._c_filter_registrations.value += 1
             if prune:
                 self._stationary_filter(direction, packet.line_addr, dests)
 
-    def _stationary_filter(self, direction: Direction, line_addr: int,
+    def _stationary_filter(self, direction: int, line_addr: int,
                            dests: Tuple[int, ...]) -> None:
         """Drop same-line GETS already buffered at the co-located input."""
         in_port = self.input_ports[direction]
@@ -149,7 +216,7 @@ class Router:
         dest_set = set(dests)
         for vc in in_port.occupied_in_vnet(0):
             request = vc.packet
-            if (request.msg.msg_type is MsgType.GETS
+            if (request.msg_type is MsgType.GETS
                     and request.line_addr == line_addr
                     and request.msg.src in dest_set):
                 vc.release()
@@ -158,10 +225,12 @@ class Router:
                 self._c_requests_filtered_stationary.value += 1
 
     def _forget(self, vc: VirtualChannel) -> None:
-        for index, (occupied_vc, _) in enumerate(self._occupied):
-            if occupied_vc is vc:
-                del self._occupied[index]
-                return
+        # VirtualChannel has no __eq__, so list.remove matches by
+        # identity — a C-level scan of a short list.
+        try:
+            self._occupied.remove(vc)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # switch allocation and transmission
@@ -177,72 +246,156 @@ class Router:
         Iterates the occupied VCs (rotated for round-robin fairness) and
         lets each packet bid for its pending output ports; a port serves
         one grant per cycle and stays busy for the packet's length.
+        Records ``next_tick`` for the self-waking schedule (see module
+        docstring); blocked-on-credit and OrdPush-stalled packets leave
+        the router dormant until an external wake event.
         """
         occupied = self._occupied
         count = len(occupied)
         if count == 0:
+            self.next_tick = NEVER
             return False
+        delta = cycle - self._last_tick
+        self._last_tick = cycle
+        offset = (self._rr_offset + delta) % count
+        self._rr_offset = offset
         progressed = False
         granted_ports = 0  # bitmask of ports granted this cycle
-        ordpush = self.network.ordered_pushes
-        self._rr_offset = (self._rr_offset + 1) % count
+        wake = NEVER
+        ordpush = self._ordpush
         # Snapshot: grants may retire VCs from the occupied list.
-        candidates = (occupied[self._rr_offset:]
-                      + occupied[:self._rr_offset])
+        if count == 1:
+            candidates = (occupied[0],)
+        elif offset:
+            candidates = occupied[offset:] + occupied[:offset]
+        else:
+            candidates = occupied[:]
         outputs = self.output_ports
-        for vc, _in_dir in candidates:
+        downstream_vcs = self._downstream_vcs
+        for vc in candidates:
             packet = vc.packet
-            if packet is None or packet.arrival_cycle + 1 > cycle:
-                continue  # still in the buffer-write / route-compute stage
-            for direction in list(packet.pending_ports):
-                out = outputs[direction]
+            if packet is None:
+                continue
+            ready = packet.arrival_cycle + 1
+            if ready > cycle:
+                # still in the buffer-write / route-compute stage
+                if ready < wake:
+                    wake = ready
+                continue
+            pending = packet.pending_ports
+            # A snapshot only when a grant could shift later entries
+            # (removal inside _transmit); the unicast case needs none.
+            entries = pending if len(pending) == 1 else tuple(pending)
+            for entry in entries:
+                direction = entry[0]
                 bit = 1 << direction
-                if granted_ports & bit or out.busy_until >= cycle:
+                if granted_ports & bit:
+                    continue  # grant this cycle already -> retry next
+                out = outputs[direction]
+                busy_until = out.busy_until
+                if busy_until >= cycle:
+                    if busy_until + 1 < wake:
+                        wake = busy_until + 1
                     continue
-                if (ordpush and packet.msg.msg_type is MsgType.INV
+                if (ordpush and packet.msg_type is _INV
                         and out.filter.has_line(packet.line_addr)):
                     self._c_inv_stalled.value += 1
-                    continue
-                downstream_vc = self.network.try_reserve(
-                    self.id, direction, packet.vnet)
-                if downstream_vc is False:
-                    continue  # no downstream credit this cycle
+                    continue  # deregistration event wakes us
+                # Inline downstream credit check + reservation (the
+                # try_reserve call path costs more than the scan).
+                downstream_vc = None
+                if direction:
+                    for cand in downstream_vcs[direction][packet.vnet]:
+                        if cand.packet is None and not cand.reserved:
+                            downstream_vc = cand
+                            break
+                    if downstream_vc is None:
+                        continue  # no credit; the credit return wakes us
+                    downstream_vc.reserved = True
                 granted_ports |= bit
-                self._transmit(vc, downstream_vc, out, cycle)
+                self._transmit(vc, downstream_vc, out, cycle, entry)
                 progressed = True
+        if progressed and cycle + 1 < wake:
+            wake = cycle + 1
+        self.next_tick = wake if self._occupied else NEVER
         return progressed
 
     def _transmit(self, vc: VirtualChannel,
                   downstream_vc: Optional[VirtualChannel],
-                  out: OutputPort, cycle: int) -> None:
-        """Send the replica for ``out`` and retire the VC when done."""
+                  out: OutputPort, cycle: int, entry) -> None:
+        """Send the replica for ``entry``'s port and retire the VC last."""
         packet = vc.packet
-        dests = packet.pending_ports.pop(out.direction)
-        branch = packet.replica(dests)
+        pending = packet.pending_ports
+        pending.remove(entry)
+        direction, dests = entry
         flits = packet.flits
+        if pending:
+            branch = packet.replica(dests)
+        else:
+            # Last (usually only) branch: the packet object itself moves
+            # on instead of a copy — the VC no longer iterates it and
+            # every downstream-read field survives the hand-off.
+            branch = packet
+            if packet.dests is not dests:
+                packet.dests = dests
         out.busy_until = cycle + flits - 1
         out.flits_tx += flits
         out.packets_tx += 1
         net = self.network
-        net.record_link_load(self.id, out.direction, packet, flits)
+        link_latency = net._link_latency
+        # Link-load and traffic accounting (record_link_load inlined).
+        net._link_load[(self.id << 3) | direction] += flits
+        net._traffic_flits[packet.traffic_idx] += flits
 
-        if ((net.filter_enabled or net.ordered_pushes)
-                and packet.msg.msg_type is MsgType.PUSH):
-            pid, line = packet.pid, packet.line_addr
-            lazy = cycle + flits - 1 + net.params.link_latency
-            net.scheduler.at(
-                lazy, lambda: out.filter.deregister(pid, line))
+        if self._push_tracking and packet.msg_type is _PUSH:
+            net.schedule_deregister(
+                self, out, packet.pid, packet.line_addr,
+                cycle + flits - 1 + link_latency)
 
-        net.dispatch(self.id, out.direction, branch, downstream_vc, cycle)
+        # Move the replica across the link (Network.dispatch inlined).
+        net._last_progress = cycle
+        scheduler = net.scheduler
+        if direction:
+            pool = net._arrival_pool
+            event = pool.pop() if pool else LinkArrival(net)
+            event.router = net._downstream_router[self.id][direction]
+            event.packet = branch
+            event.in_dir = OPPOSITE[direction]
+            event.vc = downstream_vc
+            target = cycle + 1 + link_latency
+        else:
+            pool = net._eject_pool
+            event = pool.pop() if pool else Ejection(net)
+            event.tile = self.id
+            event.packet = branch
+            target = cycle + link_latency + flits
+        # Scheduler.at inlined, wheel fast path only: the target is a
+        # link latency plus a packet length ahead of now, always inside
+        # the wheel window, and never in the past.
+        scheduler._pending += 1
+        index = target & _MASK
+        tag = scheduler._bucket_cycle[index]
+        if tag == target:
+            scheduler._buckets[index].append(event)
+        elif tag == _FREE:
+            scheduler._bucket_cycle[index] = target
+            scheduler._buckets[index].append(event)
+            heappush(scheduler._occupied, target)
+        else:
+            heappush(scheduler._overflow,
+                     (target, next(scheduler._seq), event))
 
-        if not packet.pending_ports:
+        if not pending:
             # The buffer is still being read until the tail flit leaves;
             # free the VC (and its credit) only then.
             self._forget(vc)
             if flits == 1:
-                vc.release()
+                vc.packet = None  # vc.release() inlined (never reserved)
+                cb = vc.credit_cb
+                if cb is not None:
+                    cb()
             else:
-                net.scheduler.at(cycle + flits - 1, vc.release)
+                scheduler.at(cycle + flits - 1, vc.release)
 
     def __repr__(self) -> str:
         return f"Router(id={self.id}, occupied={len(self._occupied)})"

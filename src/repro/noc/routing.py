@@ -13,7 +13,7 @@ keeping route computation off the simulation's hot path.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
@@ -72,45 +72,73 @@ class RoutingTables:
     """Precomputed next-hop tables for one mesh.
 
     ``next_hop(vnet, cur, dest)`` is a pair of list indexings; the
-    tables are shared by every router of a network instance.
+    tables are shared by every router of a network instance.  Entries
+    are stored as plain ints (``Direction`` values) so the hot path
+    never pays the enum member's Python-level ``__hash__``/``__index__``
+    — :meth:`next_hop` rewraps for callers that want the enum.
     """
 
     def __init__(self, mesh) -> None:
         tiles = mesh.num_tiles
-        self.xy: List[List[Direction]] = []
-        self.yx: List[List[Direction]] = []
+        self.xy: List[List[int]] = []
+        self.yx: List[List[int]] = []
         for cur in range(tiles):
             cur_row, cur_col = mesh.coords(cur)
             xy_row = []
             yx_row = []
             for dest in range(tiles):
                 dst_row, dst_col = mesh.coords(dest)
-                xy_row.append(xy_route(cur_row, cur_col, dst_row, dst_col))
-                yx_row.append(yx_route(cur_row, cur_col, dst_row, dst_col))
+                xy_row.append(
+                    int(xy_route(cur_row, cur_col, dst_row, dst_col)))
+                yx_row.append(
+                    int(yx_route(cur_row, cur_col, dst_row, dst_col)))
             self.xy.append(xy_row)
             self.yx.append(yx_row)
         #: vnet index -> table (requests XY, everything else YX)
         self.by_vnet = (self.xy, self.yx, self.yx)
+        # Ready-made one-entry ((port, (dest,)),) tuples for unicasts —
+        # the overwhelmingly common case — shared across packets (the
+        # whole structure is immutable, so no per-packet copy is made).
+        self._unicast = tuple(
+            tuple(
+                tuple(((table[cur][dest], (dest,)),)
+                      for dest in range(tiles))
+                for cur in range(tiles))
+            for table in self.by_vnet)
 
     def next_hop(self, vnet: int, cur: int, dest: int) -> Direction:
-        return self.by_vnet[vnet][cur][dest]
+        return Direction(self.by_vnet[vnet][cur][dest])
+
+    def output_port_list(self, vnet: int, cur: int,
+                         dests: Tuple[int, ...]):
+        """Group a packet's dests by output port: [(port, dests), ...].
+
+        Ports are plain ints; pair order is first-appearance order over
+        ``dests`` (identical to the old dict's insertion order).  The
+        unicast result is a shared immutable tuple; callers that mutate
+        must copy (``list(...)``).
+        """
+        if len(dests) == 1:
+            return self._unicast[vnet][cur][dests[0]]
+        table = self.by_vnet[vnet][cur]
+        groups: List[Optional[list]] = [None] * NUM_PORTS
+        order = []
+        for dest in dests:
+            port = table[dest]
+            bucket = groups[port]
+            if bucket is None:
+                groups[port] = [dest]
+                order.append(port)
+            else:
+                bucket.append(dest)
+        return [(port, tuple(groups[port])) for port in order]
 
     def output_ports(self, vnet: int, cur: int,
                      dests: Tuple[int, ...]
                      ) -> Dict[Direction, Tuple[int, ...]]:
-        """Group a (possibly multicast) packet's dests by output port."""
-        table = self.by_vnet[vnet][cur]
-        if len(dests) == 1:
-            return {table[dests[0]]: dests}
-        groups: Dict[Direction, list] = {}
-        for dest in dests:
-            port = table[dest]
-            bucket = groups.get(port)
-            if bucket is None:
-                groups[port] = [dest]
-            else:
-                bucket.append(dest)
-        return {port: tuple(bucket) for port, bucket in groups.items()}
+        """Dict view of :meth:`output_port_list` (tests/tools)."""
+        return {Direction(port): group
+                for port, group in self.output_port_list(vnet, cur, dests)}
 
 
 def route_compute(mesh, cur: int, dest: int, vnet: int) -> Direction:

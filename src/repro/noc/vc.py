@@ -5,11 +5,17 @@ holds a whole data packet), each virtual channel holds at most one packet
 at a time.  Credits therefore reduce to "is a VC of this vnet free at the
 downstream input port", which the upstream router checks (and reserves)
 before transmitting.
+
+Event-driven wakeups: a VC becoming free *is* the credit-return event,
+so each VC carries an optional ``credit_cb`` hook (wired by the owning
+network) that wakes the upstream feeder — the neighbour router or the
+tile's network interface — which may have gone dormant waiting for a
+downstream credit.  Standalone VCs (unit tests) leave it unset.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.noc.packet import Packet
@@ -18,13 +24,16 @@ from repro.noc.packet import Packet
 class VirtualChannel:
     """One input virtual channel: holds at most one in-flight packet."""
 
-    __slots__ = ("vnet", "index", "packet", "reserved")
+    __slots__ = ("vnet", "index", "packet", "reserved", "credit_cb")
 
     def __init__(self, vnet: int, index: int) -> None:
         self.vnet = vnet
         self.index = index
         self.packet: Optional[Packet] = None
         self.reserved = False
+        #: called whenever this VC becomes free (credit return); wakes
+        #: the upstream feeder blocked on downstream credits.
+        self.credit_cb: Optional[Callable[[], None]] = None
 
     @property
     def free(self) -> bool:
@@ -40,6 +49,8 @@ class VirtualChannel:
         if self.packet is not None:
             raise SimulationError("cancelling a filled virtual channel")
         self.reserved = False
+        if self.credit_cb is not None:
+            self.credit_cb()
 
     def fill(self, packet: Packet) -> None:
         if self.packet is not None:
@@ -51,6 +62,8 @@ class VirtualChannel:
         if self.packet is None:
             raise SimulationError("releasing an empty virtual channel")
         packet, self.packet = self.packet, None
+        if self.credit_cb is not None:
+            self.credit_cb()
         return packet
 
 
@@ -68,7 +81,7 @@ class InputPort:
     def free_vc(self, vnet: int) -> Optional[VirtualChannel]:
         """A free VC in the given vnet, or None when all are busy."""
         for vc in self.vcs[vnet]:
-            if vc.free:
+            if vc.packet is None and not vc.reserved:
                 return vc
         return None
 

@@ -22,13 +22,14 @@ recall acknowledgment; both are LLC-bound.)
 
 from __future__ import annotations
 
+import gc
 from typing import Dict, List
 
 from repro.common.addr import AddressMap
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.messages import CoherenceMsg, MsgType
 from repro.common.params import SystemParams
-from repro.common.scheduler import Scheduler
+from repro.common.scheduler import NEVER, Scheduler
 from repro.common.stats import StatGroup
 from repro.cache.llc import LLCSlice
 from repro.cache.memory import MemoryController
@@ -164,7 +165,7 @@ class System:
 
     @property
     def all_finished(self) -> bool:
-        return self.cores and self._finished_cores == len(self.cores)
+        return bool(self.cores) and self._finished_cores == len(self.cores)
 
     def run(self, max_cycles: int = 100_000_000,
             drain: bool = True) -> int:
@@ -173,6 +174,12 @@ class System:
         Returns the execution time in cycles (the last core's finish).
         ``drain`` additionally flushes in-flight traffic afterwards so
         traffic statistics are complete; the returned time is unaffected.
+
+        The loop is event-driven: each iteration jumps straight to the
+        earliest of the next scheduler event, the network's next
+        possible work cycle, and — while packets are in flight — the
+        deadlock watchdog's deadline (so the watchdog still trips at the
+        exact cycle the per-cycle simulator would have raised).
         """
         if not self.cores:
             raise ConfigError("attach_workload() before run()")
@@ -181,23 +188,38 @@ class System:
         scheduler = self.scheduler
         network = self.network
         cycle = scheduler.now
-        while not self.all_finished:
-            if network.active:
-                cycle += 1
-            else:
+        # Simulation objects die by refcount (no reference cycles on the
+        # hot path), so the cyclic collector only adds pauses; park it
+        # for the run and restore the caller's setting afterwards.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while not self.all_finished:
                 next_event = scheduler.next_event_cycle()
-                if next_event is None:
+                target = next_event if next_event is not None else NEVER
+                work = network.next_work_cycle()
+                if work < target:
+                    target = work
+                if network.active:
+                    deadline = network.watchdog_deadline()
+                    if deadline < target:
+                        target = deadline
+                elif target >= NEVER:
                     raise SimulationError(
                         "system idle with unfinished cores (protocol hang)")
-                cycle = max(cycle + 1, next_event)
-            if cycle > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles}")
-            scheduler.run_due(cycle)
-            network.tick(cycle)
-        finish = max(core.finish_cycle for core in self.cores)
-        if drain:
-            self._drain(max_cycles)
+                cycle = max(cycle + 1, target)
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}")
+                scheduler.run_due(cycle)
+                network.tick(cycle)
+            finish = max(core.finish_cycle for core in self.cores)
+            if drain:
+                self._drain(max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return finish
 
     def _drain(self, max_cycles: int) -> None:
@@ -205,7 +227,16 @@ class System:
         network = self.network
         cycle = scheduler.now
         while network.active or scheduler.pending:
-            cycle += 1
+            next_event = scheduler.next_event_cycle()
+            target = next_event if next_event is not None else NEVER
+            work = network.next_work_cycle()
+            if work < target:
+                target = work
+            if network.active:
+                deadline = network.watchdog_deadline()
+                if deadline < target:
+                    target = deadline
+            cycle = max(cycle + 1, target)
             if cycle > max_cycles:
                 raise SimulationError("drain exceeded max_cycles")
             scheduler.run_due(cycle)

@@ -1,0 +1,47 @@
+"""Bit-identical equivalence against the recorded golden matrix.
+
+``tests/data/golden_results.json`` holds full ``SimResult`` records
+captured from the pre-event-driven (per-cycle) simulator across the
+benchmark config matrix — both push modes, filter on/off, and three
+workload shapes.  The event-driven engine is only a correct
+*optimization* if every record reproduces exactly: same cycle counts,
+same per-class traffic, same link-load matrix, same push statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.sim.config import bench_kwargs
+from repro.sim.runner import run_workload
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_results.json"
+RECORDS = json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "record", RECORDS,
+    ids=[f"{rec['workload']}-{rec['config']}" for rec in RECORDS])
+def test_simresult_bit_identical(record: dict) -> None:
+    result = run_workload(record["workload"], record["config"],
+                          num_cores=16, seed=1,
+                          **bench_kwargs(), **record["sizes"])
+    got = result.to_dict()
+    want = record["result"]
+    assert set(got) == set(want)
+    mismatched = {key: (got[key], want[key])
+                  for key in want if got[key] != want[key]}
+    assert not mismatched, (
+        f"SimResult diverged from the golden record on "
+        f"{sorted(mismatched)}: {mismatched}")
+
+
+def test_golden_matrix_covers_the_config_axes() -> None:
+    """The matrix must keep covering both push modes x filter on/off."""
+    configs = {rec["config"] for rec in RECORDS}
+    assert {"baseline", "push_multicast", "push_mc_filter",
+            "pushack", "ordpush"} <= configs
+    assert len(RECORDS) >= 8

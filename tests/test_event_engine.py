@@ -1,0 +1,128 @@
+"""Event-driven engine edge cases: watchdog trip and drain completeness.
+
+The event-driven loop jumps over idle cycles, so two properties need
+explicit coverage: the deadlock watchdog must still trip at its deadline
+even when no component schedules a wakeup (forced backpressure), and
+``run(drain=True)`` must leave the traffic statistics complete.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.noc.network
+from repro.common.errors import SimulationError
+from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.params import NoCParams
+from repro.common.scheduler import NEVER, Scheduler
+from repro.cpu.traces import BARRIER, MemAccess
+from repro.noc.network import Network
+from repro.sim.config import make_params
+from repro.sim.system import System
+
+
+def _traces(num_cores: int, lines: int = 128):
+    def trace(core: int):
+        for i in range(lines):
+            yield MemAccess(addr=(0x100000 + (core * lines + i) * 64),
+                            work=2)
+        yield BARRIER
+
+    return [trace(core) for core in range(num_cores)]
+
+
+def _drive_event_driven(net: Network, max_cycles: int) -> None:
+    """The System.run jump loop, reduced to a bare network.
+
+    Advances straight to the earliest of the next scheduler event, the
+    network's next work cycle, and — while packets are in flight — the
+    watchdog deadline, exactly as ``System.run``/``_drain`` do.
+    """
+    scheduler = net.scheduler
+    cycle = scheduler.now
+    while net.active or scheduler.pending:
+        next_event = scheduler.next_event_cycle()
+        target = next_event if next_event is not None else NEVER
+        work = net.next_work_cycle()
+        if work < target:
+            target = work
+        if net.active:
+            deadline = net.watchdog_deadline()
+            if deadline < target:
+                target = deadline
+        cycle = max(cycle + 1, target)
+        if cycle > max_cycles:
+            raise AssertionError("watchdog failed to trip")
+        scheduler.run_due(cycle)
+        net.tick(cycle)
+
+
+class TestWatchdog:
+    def test_trips_under_forced_backpressure(self, monkeypatch) -> None:
+        """A packet wedged behind permanently-reserved VCs must raise
+        within the watchdog window, not spin or sleep forever."""
+        monkeypatch.setattr(repro.noc.network,
+                            "DEADLOCK_WATCHDOG_CYCLES", 64)
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=2, cols=2), scheduler)
+        for tile in range(4):
+            net.interfaces[tile].eject_hook = lambda m: None
+        # Forced backpressure: every VC at every input port of tile 3
+        # is held reserved, so nothing can ever enter the destination
+        # router and the upstream hop never gets a credit back.
+        for port in net.routers[3].input_ports:
+            if port is None:
+                continue
+            for group in port.vcs:
+                for vc in group:
+                    vc.reserved = True
+        net.send(CoherenceMsg(MsgType.GETS, 0x10, 0, (3,)))
+        with pytest.raises(SimulationError, match="no progress"):
+            _drive_event_driven(net, max_cycles=10_000)
+
+    def test_deadline_caps_the_event_jump(self, monkeypatch) -> None:
+        """While traffic is in flight the jump target is capped at the
+        watchdog deadline, so the trip happens at the same cycle the
+        per-cycle simulator would have raised — not at some later
+        event."""
+        monkeypatch.setattr(repro.noc.network,
+                            "DEADLOCK_WATCHDOG_CYCLES", 64)
+        scheduler = Scheduler()
+        net = Network(NoCParams(rows=2, cols=2), scheduler)
+        for port in net.routers[3].input_ports:
+            if port is None:
+                continue
+            for group in port.vcs:
+                for vc in group:
+                    vc.reserved = True
+        net.send(CoherenceMsg(MsgType.GETS, 0x10, 0, (3,)))
+        # A far-future event must not delay the trip.
+        scheduler.at(50_000, lambda: None)
+        with pytest.raises(SimulationError, match="no progress"):
+            _drive_event_driven(net, max_cycles=10_000)
+        assert scheduler.now <= 1_000
+
+
+class TestDrainCompleteness:
+    def test_traffic_stats_complete_after_drain(self) -> None:
+        system = System(make_params("ordpush", num_cores=4, l2_kb=16,
+                                    llc_slice_kb=64, l1_kb=4))
+        system.attach_workload(_traces(4))
+        system.run(drain=True)
+        net = system.network
+        assert system.all_finished
+        assert net.inflight == 0
+        assert system.scheduler.pending == 0
+        # Every transmitted flit-hop is attributed to a traffic class.
+        breakdown = net.traffic_breakdown()
+        assert net.total_flits() > 0
+        assert sum(breakdown.values()) == net.total_flits()
+
+    def test_drain_false_leaves_run_time_unchanged(self) -> None:
+        def run(drain: bool) -> int:
+            system = System(make_params("ordpush", num_cores=4, l2_kb=16,
+                                        llc_slice_kb=64, l1_kb=4))
+            system.attach_workload(_traces(4))
+            return system.run(drain=drain)
+
+        assert run(drain=True) == run(drain=False)
