@@ -25,7 +25,8 @@ import pstats
 import sys
 from typing import Callable, List, Optional
 
-from repro.sim.config import CONFIG_NAMES, bench_kwargs
+from repro.common.params import TOPOLOGIES
+from repro.sim.config import CONFIG_NAMES, bench_kwargs, mesh_shape
 from repro.sim.results import PUSH_CATEGORIES, SimResult
 from repro.sim.runner import run_workload
 from repro.sim.sweep import SweepPoint, derive_seed, run_sweep
@@ -40,6 +41,12 @@ def _hw_kwargs(args: argparse.Namespace) -> dict:
         kwargs["tpc_threshold"] = args.tpc_threshold
     if args.time_window is not None:
         kwargs["time_window"] = args.time_window
+    if getattr(args, "topology", None) is not None:
+        kwargs["topology"] = args.topology
+    if getattr(args, "shape", None) is not None:
+        kwargs["shape"] = args.shape
+    if getattr(args, "concentration", None) is not None:
+        kwargs["concentration"] = args.concentration
     return kwargs
 
 
@@ -131,20 +138,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _run_sweep_cmd(args: argparse.Namespace) -> int:
     kwargs = _hw_kwargs(args)
+    kwargs.pop("topology", None)  # the sweep axis below wins
+    topologies = args.topologies or [args.topology or "mesh"]
     seeds = [derive_seed(args.seed, index) for index in range(args.seeds)
              ] if args.seeds > 1 else [args.seed]
     points = [SweepPoint.make(args.workload, config, num_cores=args.cores,
-                              seed=seed, **kwargs)
+                              seed=seed, topology=topology, **kwargs)
+              for topology in topologies
               for config in args.configs for seed in seeds]
     results = run_sweep(points, jobs=args.jobs,
                         cache=not args.no_cache)
     print(f"{args.workload} on {args.cores} cores: "
           f"{len(points)} points, jobs={args.jobs}, "
           f"cache={'off' if args.no_cache else 'on'}")
-    print(f"{'config':18s}{'seed':>12s}{'cycles':>10s}{'mpki':>8s}"
-          f"{'flits':>10s}{'push acc':>10s}")
+    print(f"{'topology':9s}{'config':18s}{'seed':>12s}{'cycles':>10s}"
+          f"{'mpki':>8s}{'flits':>10s}{'push acc':>10s}")
     for point, result in zip(points, results):
-        print(f"{point.config:18s}{point.seed:12d}{result.cycles:10d}"
+        topology = dict(point.kwargs).get("topology", "mesh")
+        print(f"{topology:9s}{point.config:18s}{point.seed:12d}"
+              f"{result.cycles:10d}"
               f"{result.l2_mpki:8.1f}{result.total_flits:10d}"
               f"{result.push_accuracy():9.1%}")
     if args.out is not None:
@@ -152,6 +164,44 @@ def _run_sweep_cmd(args: argparse.Namespace) -> int:
             json.dump([result.to_dict() for result in results], handle,
                       indent=2, sort_keys=True)
         print(f"wrote {len(results)} result records to {args.out}")
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    """Inspect a fabric: node/port/link summary and average hop count."""
+    from repro.common.params import NoCParams
+    from repro.noc.topology import build_topology
+
+    rows, cols = mesh_shape(args.cores, args.shape)
+    noc_kwargs = dict(rows=rows, cols=cols, topology=args.topology)
+    if args.concentration is not None:
+        noc_kwargs["concentration"] = args.concentration
+    topology = build_topology(NoCParams(**noc_kwargs))
+
+    directed_links = list(topology.links())
+    dateline_links = sum(
+        1 for router, port, _, _ in directed_links
+        if topology.dateline_mask(router) & (1 << port))
+    ports_per_router = [len(topology.router_ports(r))
+                        for r in range(topology.num_routers)]
+    sample_ports = ", ".join(
+        topology.port_name(p) for p in topology.router_ports(0))
+
+    print(f"topology          : {topology.kind} ({topology!r})")
+    print(f"tiles             : {topology.num_tiles} "
+          f"(grid {rows}x{cols})")
+    print(f"routers           : {topology.num_routers} "
+          f"(radix {topology.radix}, "
+          f"{min(ports_per_router)}-{max(ports_per_router)} ports each)")
+    print(f"router 0 ports    : {sample_ports}")
+    print(f"links             : {len(directed_links)} directed "
+          f"({len(directed_links) // 2} bidirectional)")
+    print(f"dateline links    : {dateline_links} "
+          f"({topology.num_vc_classes} VC class"
+          f"{'es' if topology.num_vc_classes > 1 else ''} per vnet)")
+    print(f"memory controllers: "
+          f"{', '.join(map(str, topology.memory_controller_tiles()))}")
+    print(f"average hop count : {topology.average_hop_distance():.3f}")
     return 0
 
 
@@ -181,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=(64, 128, 256, 512))
         p.add_argument("--tpc-threshold", type=int, default=None)
         p.add_argument("--time-window", type=int, default=None)
+        p.add_argument("--topology", default=None, choices=TOPOLOGIES,
+                       help="interconnect fabric (default mesh)")
+        p.add_argument("--shape", default=None, metavar="RxC",
+                       help="explicit tile grid, e.g. 4x8 "
+                            "(default: squarest factorization)")
+        p.add_argument("--concentration", type=int, default=None,
+                       help="tiles per router for --topology cmesh "
+                            "(default 4)")
 
     def profiled(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -221,9 +279,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bypass the on-disk result cache")
     sweep_p.add_argument("--out", default=None,
                          help="write result records to this JSON file")
+    sweep_p.add_argument("--topologies", nargs="+", default=None,
+                         choices=TOPOLOGIES,
+                         help="sweep axis: run every point on each of "
+                              "these fabrics (overrides --topology)")
     common(sweep_p)
     profiled(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    topo_p = sub.add_parser(
+        "topo", help="inspect a topology's node/port/link structure")
+    topo_p.add_argument("topology", choices=TOPOLOGIES)
+    topo_p.add_argument("--cores", type=int, default=16)
+    topo_p.add_argument("--shape", default=None, metavar="RxC",
+                        help="explicit tile grid, e.g. 4x8")
+    topo_p.add_argument("--concentration", type=int, default=None,
+                        help="tiles per router for cmesh (default 4)")
+    topo_p.set_defaults(func=_cmd_topo)
 
     list_p = sub.add_parser("list", help="show workloads and configs")
     list_p.set_defaults(func=_cmd_list)

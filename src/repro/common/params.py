@@ -84,9 +84,18 @@ class CacheParams:
         return self.size_bytes // LINE_BYTES
 
 
+#: interconnect fabrics understood by ``repro.noc.topology.build_topology``
+#: (mirrored here so the params layer stays import-free of the NoC stack).
+TOPOLOGIES = ("mesh", "torus", "ring", "cmesh")
+
+
 @dataclass(frozen=True)
 class NoCParams:
-    """Mesh network parameters (Garnet-3.0 equivalents from Table I)."""
+    """Interconnect parameters (Garnet-3.0 equivalents from Table I).
+
+    ``rows``/``cols`` describe the tile grid; how tiles map onto routers
+    is the chosen ``topology``'s business (a ring linearizes the grid, a
+    concentrated mesh groups ``concentration`` tiles per router)."""
 
     rows: int = 4
     cols: int = 4
@@ -104,6 +113,13 @@ class NoCParams:
     """Buffer depth of one virtual channel, in flits.  Must hold a whole
     data packet for virtual cut-through."""
 
+    topology: str = "mesh"
+    """Fabric connecting the tiles: mesh (paper default), torus, ring,
+    or cmesh (concentrated mesh)."""
+
+    concentration: int = 4
+    """Tiles per router under the ``cmesh`` topology (ignored elsewhere)."""
+
     def __post_init__(self) -> None:
         _require(self.rows >= 1 and self.cols >= 1, "mesh must be at least 1x1")
         _require(self.link_bits in (64, 128, 256, 512),
@@ -114,6 +130,17 @@ class NoCParams:
         _require(self.link_latency >= 1, "link_latency must be >= 1")
         _require(self.vc_depth_flits >= self.data_packet_flits,
                  "VC depth must hold a full data packet (virtual cut-through)")
+        _require(self.topology in TOPOLOGIES,
+                 f"topology must be one of {TOPOLOGIES}, got {self.topology!r}")
+        if self.topology in ("torus", "ring"):
+            _require(self.vcs_per_vnet >= 2 and self.vcs_per_vnet % 2 == 0,
+                     f"{self.topology} needs an even vcs_per_vnet >= 2 "
+                     "(two dateline VC classes per vnet)")
+        if self.topology == "cmesh":
+            _require(self.concentration >= 1, "concentration must be >= 1")
+            _require(self.num_tiles % self.concentration == 0,
+                     f"{self.num_tiles} tiles do not split into routers "
+                     f"of {self.concentration}")
 
     @property
     def num_tiles(self) -> int:

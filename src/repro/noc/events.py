@@ -14,10 +14,6 @@ both the network and the router can construct them.
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.noc.routing import Direction
-
 
 class LinkArrival:
     """Pooled event: a packet head reaching the downstream input VC."""
@@ -28,7 +24,7 @@ class LinkArrival:
         self.network = network
         self.router = None
         self.packet = None
-        self.in_dir = Direction.LOCAL
+        self.in_dir = 0
         self.vc = None
 
     def __call__(self) -> None:

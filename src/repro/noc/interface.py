@@ -27,7 +27,6 @@ from repro.common.messages import CoherenceMsg, MsgType
 from repro.common.scheduler import NEVER
 from repro.common.stats import StatGroup
 from repro.noc.packet import Packet
-from repro.noc.routing import Direction
 
 
 class NetworkInterface:
@@ -36,12 +35,24 @@ class NetworkInterface:
     __slots__ = ("tile", "network", "_queues", "_backlog", "_rr_vnet",
                  "_busy_until", "next_tick", "eject_hook", "stats",
                  "_c_flits_injected", "_c_flits_ejected", "_data_flits",
-                 "_control_flits", "_link_latency", "_vnet_orders")
+                 "_control_flits", "_link_latency", "_vnet_orders",
+                 "_router", "_local_port", "_local_in", "_vnet_buckets")
 
     def __init__(self, tile: int, network) -> None:
         self.tile = tile
         self.network = network
         num_vnets = network.params.num_vnets
+        # Attach point: the router and input port this tile injects
+        # into (tile == router id and port 0 on unconcentrated fabrics).
+        attach_router, attach_port = network.topology.attach(tile)
+        self._router = network.routers[attach_router]
+        self._local_port = attach_port
+        self._local_in = self._router.input_ports[attach_port]
+        # Injections always use VC class 0 of a vnet; on single-class
+        # fabrics the bucket ids coincide with the vnet ids.
+        num_classes = network.topology.num_vc_classes
+        self._vnet_buckets = tuple(
+            vnet * num_classes for vnet in range(num_vnets))
         self._queues: tuple = tuple(deque() for _ in range(num_vnets))
         # Precomputed round-robin visit orders: _vnet_orders[start] is
         # the vnet sequence starting at ``start`` (no per-step modulo).
@@ -86,8 +97,9 @@ class NetworkInterface:
         if not self._backlog:
             self.next_tick = NEVER
             return False
-        router = self.network.routers[self.tile]
-        local = router.input_ports[0]  # Direction.LOCAL == 0
+        router = self._router
+        local = self._local_in
+        buckets = self._vnet_buckets
         num_vnets = len(self._queues)
         for vnet in self._vnet_orders[self._rr_vnet]:
             queue: Deque[Packet] = self._queues[vnet]
@@ -97,7 +109,7 @@ class NetworkInterface:
                     and self._inv_blocked(queue[0])):
                 continue
             vc = None
-            for cand in local.vcs[vnet]:  # free_vc inlined
+            for cand in local.vcs[buckets[vnet]]:  # free_vc inlined
                 if cand.packet is None and not cand.reserved:
                     vc = cand
                     break
@@ -109,7 +121,7 @@ class NetworkInterface:
             self._busy_until = cycle + packet.flits - 1
             self._c_flits_injected.value += packet.flits
             self.network.schedule_arrival(
-                router, packet, Direction.LOCAL, vc,
+                router, packet, self._local_port, vc,
                 cycle + self._link_latency)
             self._rr_vnet = (vnet + 1) % num_vnets
             self.next_tick = (

@@ -34,9 +34,8 @@ from repro.noc.events import Deregister, Ejection, LinkArrival
 from repro.noc.interface import NetworkInterface
 from repro.noc.packet import Packet
 from repro.noc.router import Router
-from repro.noc.routing import (ALL_DIRECTIONS, Direction, NUM_PORTS,
-                               OPPOSITE, RoutingTables)
-from repro.noc.topology import Mesh
+from repro.noc.routing import Direction, RoutingTables
+from repro.noc.topology import Topology, build_topology
 from repro.noc.vc import VirtualChannel
 
 #: cycles without any packet movement (while packets exist) that we treat
@@ -45,7 +44,8 @@ DEADLOCK_WATCHDOG_CYCLES = 200_000
 
 
 class Network:
-    """A mesh NoC instance bound to a scheduler."""
+    """A NoC instance (any :mod:`~repro.noc.topology` fabric) bound to a
+    scheduler."""
 
     def __init__(self, params: NoCParams, scheduler: Scheduler,
                  filter_enabled: bool = False,
@@ -57,16 +57,25 @@ class Network:
         #: stall INVs behind same-line pushes (OrdPush, §III-F).  Push
         #: registration happens whenever either switch is on.
         self.ordered_pushes = ordered_pushes
-        self.mesh = Mesh(params.rows, params.cols)
-        self.tables = RoutingTables(self.mesh)
+        self.topology: Topology = build_topology(params)
+        #: historical alias for the fabric object (a Mesh by default);
+        #: prefer ``topology`` in new code.
+        self.mesh = self.topology
+        #: per-router stride (in bits) of the flat link-load array —
+        #: the smallest power-of-two span holding the fabric's radix
+        #: (3 for the 5-port mesh, preserving the historical layout).
+        self._ll_shift = max((self.topology.radix - 1).bit_length(), 1)
+        self.tables = RoutingTables(self.topology)
         self.routers: List[Router] = [
-            Router(tile, self) for tile in range(self.mesh.num_tiles)]
+            Router(node, self) for node in range(self.topology.num_routers)]
         self.interfaces: List[NetworkInterface] = [
-            NetworkInterface(tile, self) for tile in range(self.mesh.num_tiles)]
+            NetworkInterface(tile, self)
+            for tile in range(self.topology.num_tiles)]
         self.stats = StatGroup("network")
         #: per-link flit counts, a flat array indexed
-        #: (router_id << 3) | direction (zero = link unused)
-        self._link_load: List[int] = [0] * (self.mesh.num_tiles << 3)
+        #: (router_id << _ll_shift) | port (zero = link unused)
+        self._link_load: List[int] = [0] * (
+            self.topology.num_routers << self._ll_shift)
         self._traffic_flits: List[int] = [0] * (len(TrafficClass) + 1)
         self.request_filtered_hook: Optional[
             Callable[[CoherenceMsg], None]] = None
@@ -91,25 +100,29 @@ class Network:
         self._arrival_pool: List[LinkArrival] = []
         self._eject_pool: List[Ejection] = []
         self._dereg_pool: List[Deregister] = []
-        # Precomputed downstream lookups: [router_id][direction] -> the
+        # Precomputed downstream lookups: [router_id][port] -> the
         # neighbour Router / its facing InputPort (replaces per-grant
-        # mesh.neighbor + OPPOSITE chains on the hot path).
+        # topology.link chains on the hot path).
+        topology = self.topology
+        radix = topology.radix
         self._downstream_router: List[List[Optional[Router]]] = []
         self._downstream_port: List[List[Optional]] = []
-        for tile in range(self.mesh.num_tiles):
-            row_r: List[Optional[Router]] = [None] * NUM_PORTS
-            row_p: List[Optional] = [None] * NUM_PORTS
-            for direction in ALL_DIRECTIONS[1:]:
-                neighbor = self.mesh.neighbor(tile, direction)
-                if neighbor is not None:
-                    row_r[direction] = self.routers[neighbor]
-                    row_p[direction] = (
-                        self.routers[neighbor].input_ports[OPPOSITE[direction]])
+        for router in self.routers:
+            row_r: List[Optional[Router]] = [None] * radix
+            row_p: List[Optional] = [None] * radix
+            for port in topology.router_ports(router.id):
+                link = topology.link(router.id, port)
+                if link is not None:
+                    neighbor, in_port = link
+                    row_r[port] = self.routers[neighbor]
+                    row_p[port] = self.routers[neighbor].input_ports[in_port]
+                    router._downstream_in[port] = in_port
             self._downstream_router.append(row_r)
             self._downstream_port.append(row_p)
-        # Per-router [direction] -> the downstream input port's per-vnet
-        # VC lists (None for LOCAL/off-mesh): lets the switch-allocation
-        # loop scan downstream credits without any function call.
+        # Per-router [port] -> the downstream input port's per-bucket
+        # VC lists (None for ejection/absent ports): lets the switch-
+        # allocation loop scan downstream credits without any function
+        # call.
         for router in self.routers:
             router._downstream_vcs = [
                 port.vcs if port is not None else None
@@ -139,16 +152,18 @@ class Network:
         this cycle — and already-swept routers next cycle, but a
         not-yet-swept router (higher id) the same cycle.
         """
+        topology = self.topology
         for router in self.routers:
-            tile = router.id
+            node = router.id
             for in_dir, port in enumerate(router.input_ports):
                 if port is None:
                     continue
-                if in_dir == Direction.LOCAL:
+                tile = topology.eject_tile(node, in_dir)
+                if tile is not None:
+                    # an injection/ejection port: fed by the tile's NI
                     callback = self._make_ni_waker(self.interfaces[tile])
                 else:
-                    feeder = self.routers[
-                        self.mesh.neighbor(tile, Direction(in_dir))]
+                    feeder = self.routers[topology.link(node, in_dir)[0]]
                     callback = self._make_router_waker(feeder)
                 for group in port.vcs:
                     for vc in group:
@@ -194,45 +209,50 @@ class Network:
     # router support services
     # ------------------------------------------------------------------
 
-    def try_reserve(self, router_id: int, direction: Direction,
-                    vnet: int) -> Union[VirtualChannel, None, bool]:
+    def try_reserve(self, router_id: int, direction: int,
+                    bucket: int) -> Union[VirtualChannel, None, bool]:
         """Reserve a downstream VC for a grant.
 
-        Returns the reserved :class:`VirtualChannel`, ``None`` when the
-        hop is an ejection (always accepted), or ``False`` when no
-        downstream credit is available this cycle.
+        ``bucket`` indexes the downstream port's VC buckets (== the
+        vnet on single-class fabrics).  Returns the reserved
+        :class:`VirtualChannel`, ``None`` when the hop is an ejection
+        (always accepted), or ``False`` when no downstream credit is
+        available this cycle.
         """
-        if not direction:  # Direction.LOCAL == 0: ejection
-            return None
         in_port = self._downstream_port[router_id][direction]
         if in_port is None:
+            if self.topology.eject_tile(router_id, direction) is not None:
+                return None
             raise SimulationError(
-                f"route leaves the mesh at router {router_id} {direction}")
-        vc = in_port.free_vc(vnet)
+                f"route leaves the fabric at router {router_id} "
+                f"port {direction}")
+        vc = in_port.free_vc(bucket)
         if vc is None:
             return False
         vc.reserve()
         return vc
 
-    def dispatch(self, router_id: int, direction: Direction, branch: Packet,
+    def dispatch(self, router_id: int, direction: int, branch: Packet,
                  downstream_vc: Optional[VirtualChannel], cycle: int) -> None:
         """Move a granted replica across the link (or eject it)."""
         self._last_progress = cycle
         link_latency = self._link_latency
-        if not direction:  # Direction.LOCAL == 0: ejection
+        downstream = self._downstream_router[router_id][direction]
+        if downstream is None:  # ejection port
             pool = self._eject_pool
             event = pool.pop() if pool else Ejection(self)
-            event.tile = router_id
+            event.tile = self.topology.eject_tile(router_id, direction)
             event.packet = branch
             self.scheduler.at(
                 cycle + 1 + link_latency + branch.flits - 1, event)
             return
         self.schedule_arrival(
-            self._downstream_router[router_id][direction], branch,
-            OPPOSITE[direction], downstream_vc, cycle + 1 + link_latency)
+            downstream, branch,
+            self.routers[router_id]._downstream_in[direction],
+            downstream_vc, cycle + 1 + link_latency)
 
     def schedule_arrival(self, router: Router, packet: Packet,
-                         in_dir: Direction,
+                         in_dir: int,
                          vc: Optional[VirtualChannel], cycle: int) -> None:
         """Schedule a pooled head-arrival event at ``router``."""
         pool = self._arrival_pool
@@ -254,9 +274,9 @@ class Network:
         event.line_addr = line_addr
         self.scheduler.at(cycle, event)
 
-    def record_link_load(self, router_id: int, direction: Direction,
+    def record_link_load(self, router_id: int, direction: int,
                          packet: Packet, flits: int) -> None:
-        self._link_load[(router_id << 3) | direction] += flits
+        self._link_load[(router_id << self._ll_shift) | direction] += flits
         self._traffic_flits[packet.msg.traffic_idx] += flits
 
     def note_injected(self, packet: Packet) -> None:
@@ -403,9 +423,13 @@ class Network:
     # ------------------------------------------------------------------
 
     @property
-    def link_load(self) -> Dict[Tuple[int, Direction], int]:
-        """Per-link flit counts keyed (router, Direction)."""
-        return {(key >> 3, Direction(key & 7)): flits
+    def link_load(self) -> Dict[Tuple[int, int], int]:
+        """Per-link flit counts keyed (router, port) — the port is a
+        :class:`Direction` on mesh-like fabrics, a plain id otherwise."""
+        shift = self._ll_shift
+        mask = (1 << shift) - 1
+        wrap = Direction if self.topology.ports_are_directions else int
+        return {(key >> shift, wrap(key & mask)): flits
                 for key, flits in enumerate(self._link_load) if flits}
 
     def total_flits(self) -> int:
@@ -419,6 +443,9 @@ class Network:
         return {cls: flits[cls.value] for cls in TrafficClass}
 
     def link_load_matrix(self) -> Dict[Tuple[int, str], int]:
-        """Per-link flit counts keyed by (router, direction name) — Fig 14."""
-        return {(key >> 3, Direction(key & 7).name.lower()): flits
+        """Per-link flit counts keyed by (router, port name) — Fig 14."""
+        shift = self._ll_shift
+        mask = (1 << shift) - 1
+        port_name = self.topology.port_name
+        return {(key >> shift, port_name(key & mask)): flits
                 for key, flits in enumerate(self._link_load) if flits}

@@ -27,7 +27,8 @@ class Packet:
 
     __slots__ = ("msg", "dests", "flits", "injected_at", "pid",
                  "arrival_cycle", "output_ports", "pending_ports",
-                 "vnet", "line_addr", "msg_type", "traffic_idx")
+                 "vnet", "line_addr", "msg_type", "traffic_idx",
+                 "vc_bucket", "ring")
 
     def __init__(self, msg: CoherenceMsg, flits: int,
                  dests: Optional[Tuple[int, ...]] = None,
@@ -48,6 +49,14 @@ class Packet:
         self.line_addr = msg.line_addr
         self.msg_type = msg.msg_type
         self.traffic_idx = msg.traffic_idx
+        # Dateline deadlock-avoidance state (torus/ring fabrics only;
+        # mesh-like routers never read these).  ``vc_bucket`` is the VC
+        # bucket occupied at the current router, ``ring`` the out-port
+        # of the link just traversed (-1 straight after injection) —
+        # staying on the same unidirectional ring keeps the VC class,
+        # turning resets it, crossing a dateline link bumps it.
+        self.vc_bucket = msg.vnet
+        self.ring = -1
 
     @property
     def is_multicast(self) -> bool:

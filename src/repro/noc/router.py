@@ -1,4 +1,4 @@
-"""The 2-stage pipelined mesh router with push-multicast extensions.
+"""The 2-stage pipelined NoC router with push-multicast extensions.
 
 Pipeline (paper Fig. 7a): a packet performs buffer-write and route
 compute in the cycle it arrives, and becomes eligible for switch
@@ -55,7 +55,7 @@ from repro.common.stats import StatGroup
 from repro.noc.events import Ejection, LinkArrival
 from repro.noc.filter import InNetworkFilter
 from repro.noc.packet import Packet
-from repro.noc.routing import Direction, NUM_PORTS, OPPOSITE
+from repro.noc.routing import Direction
 from repro.noc.vc import InputPort, VirtualChannel
 
 # Hot-loop member handles (skip the enum attribute lookup per packet).
@@ -70,7 +70,7 @@ class OutputPort:
     __slots__ = ("direction", "busy_until", "filter", "flits_tx",
                  "packets_tx")
 
-    def __init__(self, direction: Direction, filter_capacity: int) -> None:
+    def __init__(self, direction: int, filter_capacity: int) -> None:
         self.direction = direction
         self.busy_until = -1
         self.filter = InNetworkFilter(filter_capacity)
@@ -79,31 +79,58 @@ class OutputPort:
 
 
 class Router:
-    """One mesh router.  The owning Network wires ports and timing."""
+    """One NoC router.  The owning Network wires ports and timing.
+
+    The router is topology-agnostic: the fabric's port graph arrives as
+    a radix, a set of present port ids, a link-vs-ejection bitmask, and
+    (for wraparound fabrics) a dateline mask — everything else, from
+    switch allocation to the push-multicast machinery, is identical
+    across topologies.
+    """
 
     def __init__(self, router_id: int, network) -> None:
         self.id = router_id
         self.network = network
         params = network.params
+        topology = network.topology
+        radix = topology.radix
         # One entry per input data VC that can route to the port.  The
         # paper sizes 4 source ports x data VCs (no u-turns between mesh
-        # ports); the LOCAL output additionally accepts same-tile pushes
-        # from the LOCAL input (LLC slice -> co-located L2), so 5 covers
-        # every port.
-        filter_capacity = NUM_PORTS * params.vcs_per_vnet
-        directions = self._port_directions()
-        self.input_ports: List[Optional[InputPort]] = [None] * NUM_PORTS
-        self.output_ports: List[Optional[OutputPort]] = [None] * NUM_PORTS
-        for direction in directions:
-            self.input_ports[direction] = InputPort(
-                params.num_vnets, params.vcs_per_vnet)
-            self.output_ports[direction] = OutputPort(
-                direction, filter_capacity)
+        # ports); the ejection outputs additionally accept same-tile
+        # pushes from the local input (LLC slice -> co-located L2), so
+        # the full radix covers every port on every fabric.
+        filter_capacity = radix * params.vcs_per_vnet
+        #: dateline VC classes per vnet (1 on fabrics without wraparound)
+        self._num_classes = topology.num_vc_classes
+        self._has_classes = self._num_classes > 1
+        ports = topology.router_ports(router_id)
+        self.input_ports: List[Optional[InputPort]] = [None] * radix
+        self.output_ports: List[Optional[OutputPort]] = [None] * radix
+        #: bitmask of out-ports that cross a link; clear present bits eject
+        self._link_mask = 0
+        #: [port] -> attached tile for ejection ports (None on links)
+        self._eject_tiles: List[Optional[int]] = [None] * radix
+        for port in ports:
+            self.input_ports[port] = InputPort(
+                params.num_vnets, params.vcs_per_vnet, self._num_classes)
+            self.output_ports[port] = OutputPort(port, filter_capacity)
+            if topology.link(router_id, port) is not None:
+                self._link_mask |= 1 << port
+            else:
+                self._eject_tiles[port] = topology.eject_tile(
+                    router_id, port)
+        #: out-ports whose link crosses this fabric's dateline (bitmask)
+        self._dateline_mask = topology.dateline_mask(router_id)
+        #: [out-port] -> facing input-port id at the downstream router
+        #: (wired by the owning Network)
+        self._downstream_in: List[int] = [0] * radix
+        #: base of this router's slice of the flat link-load array
+        self._ll_base = router_id << network._ll_shift
         #: input VCs currently holding a packet (round-robin order)
         self._occupied: List[VirtualChannel] = []
-        #: [direction] -> downstream input port's per-vnet VC lists
-        #: (wired by the owning Network; None for LOCAL/off-mesh)
-        self._downstream_vcs: List[Optional[list]] = [None] * NUM_PORTS
+        #: [port] -> downstream input port's per-bucket VC lists
+        #: (wired by the owning Network; None for ejection/absent ports)
+        self._downstream_vcs: List[Optional[list]] = [None] * radix
         #: [vnet][dest] -> shared unicast port tuple for *this* router
         #: (wired by the owning Network; a slice of RoutingTables)
         self._unicast: Optional[list] = None
@@ -124,11 +151,6 @@ class Router:
         self._c_requests_filtered_stationary = self.stats.counter(
             "requests_filtered_stationary")
         self._c_inv_stalled = self.stats.counter("inv_stalled_behind_push")
-
-    def _port_directions(self) -> List[Direction]:
-        directions = [Direction.LOCAL]
-        directions.extend(self.network.mesh.neighbors(self.id))
-        return directions
 
     # ------------------------------------------------------------------
     # arrival path: buffer write, route compute, filter actions
@@ -272,6 +294,8 @@ class Router:
             candidates = occupied[:]
         outputs = self.output_ports
         downstream_vcs = self._downstream_vcs
+        link_mask = self._link_mask
+        has_classes = self._has_classes
         for vc in candidates:
             packet = vc.packet
             if packet is None:
@@ -304,8 +328,19 @@ class Router:
                 # Inline downstream credit check + reservation (the
                 # try_reserve call path costs more than the scan).
                 downstream_vc = None
-                if direction:
-                    for cand in downstream_vcs[direction][packet.vnet]:
+                bucket = packet.vnet
+                if bit & link_mask:
+                    if has_classes:
+                        # Dateline VC-class selection: same ring keeps
+                        # the class, a turn resets it, crossing the
+                        # dateline link bumps it.
+                        if packet.ring == direction:
+                            bucket = packet.vc_bucket
+                        else:
+                            bucket = bucket * self._num_classes
+                        if self._dateline_mask & bit:
+                            bucket += 1
+                    for cand in downstream_vcs[direction][bucket]:
                         if cand.packet is None and not cand.reserved:
                             downstream_vc = cand
                             break
@@ -313,7 +348,8 @@ class Router:
                         continue  # no credit; the credit return wakes us
                     downstream_vc.reserved = True
                 granted_ports |= bit
-                self._transmit(vc, downstream_vc, out, cycle, entry)
+                self._transmit(vc, downstream_vc, out, cycle, entry,
+                               bucket)
                 progressed = True
         if progressed and cycle + 1 < wake:
             wake = cycle + 1
@@ -322,7 +358,8 @@ class Router:
 
     def _transmit(self, vc: VirtualChannel,
                   downstream_vc: Optional[VirtualChannel],
-                  out: OutputPort, cycle: int, entry) -> None:
+                  out: OutputPort, cycle: int, entry,
+                  bucket: int) -> None:
         """Send the replica for ``entry``'s port and retire the VC last."""
         packet = vc.packet
         pending = packet.pending_ports
@@ -344,7 +381,7 @@ class Router:
         net = self.network
         link_latency = net._link_latency
         # Link-load and traffic accounting (record_link_load inlined).
-        net._link_load[(self.id << 3) | direction] += flits
+        net._link_load[self._ll_base | direction] += flits
         net._traffic_flits[packet.traffic_idx] += flits
 
         if self._push_tracking and packet.msg_type is _PUSH:
@@ -353,20 +390,25 @@ class Router:
                 cycle + flits - 1 + link_latency)
 
         # Move the replica across the link (Network.dispatch inlined).
+        # Link hops always carry a reserved downstream VC; ejections
+        # never do, so the reservation doubles as the link/eject test.
         net._last_progress = cycle
         scheduler = net.scheduler
-        if direction:
+        if downstream_vc is not None:
+            if self._has_classes:
+                branch.vc_bucket = bucket
+                branch.ring = direction
             pool = net._arrival_pool
             event = pool.pop() if pool else LinkArrival(net)
             event.router = net._downstream_router[self.id][direction]
             event.packet = branch
-            event.in_dir = OPPOSITE[direction]
+            event.in_dir = self._downstream_in[direction]
             event.vc = downstream_vc
             target = cycle + 1 + link_latency
         else:
             pool = net._eject_pool
             event = pool.pop() if pool else Ejection(net)
-            event.tile = self.id
+            event.tile = self._eject_tiles[direction]
             event.packet = branch
             target = cycle + link_latency + flits
         # Scheduler.at inlined, wheel fast path only: the target is a

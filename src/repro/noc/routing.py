@@ -6,8 +6,11 @@ requests it may filter (§III-C) and so that OrdPush's push-before-
 invalidation ordering holds on a common path (§III-F).
 
 ``RoutingTables`` precomputes the per-hop decision for every
-(current, destination) pair of a mesh — the routers index it directly,
-keeping route computation off the simulation's hot path.
+(current router, destination tile) pair of a topology — the routers
+index it directly, keeping route computation off the simulation's hot
+path.  The closed forms below cover the mesh; other fabrics supply
+their own closed form through ``Topology.route`` and are tabulated the
+same way.
 """
 
 from __future__ import annotations
@@ -69,31 +72,31 @@ def yx_route(cur_row: int, cur_col: int, dst_row: int,
 
 
 class RoutingTables:
-    """Precomputed next-hop tables for one mesh.
+    """Precomputed next-hop tables for one topology.
 
     ``next_hop(vnet, cur, dest)`` is a pair of list indexings; the
     tables are shared by every router of a network instance.  Entries
-    are stored as plain ints (``Direction`` values) so the hot path
-    never pays the enum member's Python-level ``__hash__``/``__index__``
-    — :meth:`next_hop` rewraps for callers that want the enum.
+    are stored as plain ints (port ids; ``Direction`` values on
+    mesh-like fabrics) so the hot path never pays the enum member's
+    Python-level ``__hash__``/``__index__`` — :meth:`next_hop` rewraps
+    for callers that want the enum.  ``cur`` indexes *routers*,
+    ``dest`` indexes *tiles*; the two coincide except under
+    concentration.
     """
 
-    def __init__(self, mesh) -> None:
-        tiles = mesh.num_tiles
-        self.xy: List[List[int]] = []
-        self.yx: List[List[int]] = []
-        for cur in range(tiles):
-            cur_row, cur_col = mesh.coords(cur)
-            xy_row = []
-            yx_row = []
-            for dest in range(tiles):
-                dst_row, dst_col = mesh.coords(dest)
-                xy_row.append(
-                    int(xy_route(cur_row, cur_col, dst_row, dst_col)))
-                yx_row.append(
-                    int(yx_route(cur_row, cur_col, dst_row, dst_col)))
-            self.xy.append(xy_row)
-            self.yx.append(yx_row)
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        tiles = topology.num_tiles
+        routers = topology.num_routers
+        self._radix = topology.radix
+        self._directional = topology.ports_are_directions
+        route = topology.route
+        self.xy: List[List[int]] = [
+            [route("xy", cur, dest) for dest in range(tiles)]
+            for cur in range(routers)]
+        self.yx: List[List[int]] = [
+            [route("yx", cur, dest) for dest in range(tiles)]
+            for cur in range(routers)]
         #: vnet index -> table (requests XY, everything else YX)
         self.by_vnet = (self.xy, self.yx, self.yx)
         # Ready-made one-entry ((port, (dest,)),) tuples for unicasts —
@@ -103,11 +106,12 @@ class RoutingTables:
             tuple(
                 tuple(((table[cur][dest], (dest,)),)
                       for dest in range(tiles))
-                for cur in range(tiles))
+                for cur in range(routers))
             for table in self.by_vnet)
 
-    def next_hop(self, vnet: int, cur: int, dest: int) -> Direction:
-        return Direction(self.by_vnet[vnet][cur][dest])
+    def next_hop(self, vnet: int, cur: int, dest: int):
+        port = self.by_vnet[vnet][cur][dest]
+        return Direction(port) if self._directional else port
 
     def output_port_list(self, vnet: int, cur: int,
                          dests: Tuple[int, ...]):
@@ -121,7 +125,7 @@ class RoutingTables:
         if len(dests) == 1:
             return self._unicast[vnet][cur][dests[0]]
         table = self.by_vnet[vnet][cur]
-        groups: List[Optional[list]] = [None] * NUM_PORTS
+        groups: List[Optional[list]] = [None] * self._radix
         order = []
         for dest in dests:
             port = table[dest]
@@ -134,36 +138,35 @@ class RoutingTables:
         return [(port, tuple(groups[port])) for port in order]
 
     def output_ports(self, vnet: int, cur: int,
-                     dests: Tuple[int, ...]
-                     ) -> Dict[Direction, Tuple[int, ...]]:
+                     dests: Tuple[int, ...]) -> Dict:
         """Dict view of :meth:`output_port_list` (tests/tools)."""
-        return {Direction(port): group
+        wrap = Direction if self._directional else int
+        return {wrap(port): group
                 for port, group in self.output_port_list(vnet, cur, dests)}
 
 
-def route_compute(mesh, cur: int, dest: int, vnet: int) -> Direction:
-    """Output port for a unicast packet at tile ``cur`` heading to
-    ``dest`` (convenience wrapper; hot paths use :class:`RoutingTables`)."""
-    cur_row, cur_col = mesh.coords(cur)
-    dst_row, dst_col = mesh.coords(dest)
+def route_compute(topology, cur: int, dest: int, vnet: int):
+    """Output port for a unicast packet at router ``cur`` heading to
+    tile ``dest`` (convenience wrapper; hot paths use
+    :class:`RoutingTables`).  Returns a :class:`Direction` on mesh-like
+    fabrics, a plain port id otherwise."""
     discipline = VNET_ROUTING.get(vnet)
-    if discipline == "xy":
-        return xy_route(cur_row, cur_col, dst_row, dst_col)
-    if discipline == "yx":
-        return yx_route(cur_row, cur_col, dst_row, dst_col)
-    raise SimulationError(f"no routing discipline for vnet {vnet}")
+    if discipline is None:
+        raise SimulationError(f"no routing discipline for vnet {vnet}")
+    port = topology.route(discipline, cur, dest)
+    return Direction(port) if topology.ports_are_directions else port
 
 
 def multicast_output_ports(
-        mesh, cur: int, dests: Tuple[int, ...],
-        vnet: int) -> Dict[Direction, Tuple[int, ...]]:
+        topology, cur: int, dests: Tuple[int, ...],
+        vnet: int) -> Dict:
     """Group a multicast packet's destinations by output port.
 
     The asynchronous multicast scheme (§III-E) sends one replica per
     output port, each carrying the destination subset for that branch.
     """
-    groups: Dict[Direction, list] = {}
+    groups: Dict = {}
     for dest in dests:
-        port = route_compute(mesh, cur, dest, vnet)
+        port = route_compute(topology, cur, dest, vnet)
         groups.setdefault(port, []).append(dest)
     return {port: tuple(sorted(group)) for port, group in groups.items()}

@@ -1,14 +1,162 @@
-"""2D mesh topology: tile coordinates and neighbour relations."""
+"""Pluggable interconnect topologies: the port-graph abstraction.
+
+A :class:`Topology` describes everything the network layer needs to wire
+and route a fabric, without the routers or the routing tables knowing
+which fabric they serve:
+
+* **nodes** — ``num_routers`` routers moving packets between
+  ``num_tiles`` endpoint tiles (cores / LLC slices / NIs).  One router
+  per tile for mesh/torus/ring; several tiles share a router under
+  concentration.
+* **typed ports** — every router exposes up to ``radix`` integer port
+  ids.  A port either *ejects* to an attached tile
+  (:meth:`Topology.eject_tile`) or crosses a *link* to a neighbour
+  router (:meth:`Topology.link`).  Links come in bidirectional pairs:
+  ``link(r, p) == (v, q)`` implies ``link(v, q) == (r, p)``, which is
+  how the network wires credit-return callbacks back to the feeder.
+* **deadlock-free routing** — :meth:`Topology.route` gives the
+  closed-form next-hop port for each discipline (``"xy"`` for requests,
+  ``"yx"`` for everything else); :class:`~repro.noc.routing.RoutingTables`
+  tabulates it once per network.  Fabrics with wraparound links
+  (torus, ring) additionally declare ``num_vc_classes == 2`` and mark
+  *dateline* ports (:meth:`Topology.dateline_mask`): a packet crossing a
+  dateline link moves to the upper virtual-channel class of its vnet,
+  breaking the cyclic channel dependency of each unidirectional ring
+  (Dally's dateline scheme).
+
+Implementations
+---------------
+
+==================  ================================================
+``mesh``            2D mesh, XY/YX dimension-ordered routing (the
+                    paper's fabric; bit-identical to the original
+                    hardwired implementation)
+``torus``           2D torus: per-dimension shortest direction with an
+                    antisymmetric tie-break, dateline VC classes on
+                    the wraparound links
+``ring``            bidirectional ring: shortest-direction routing,
+                    dateline VC classes
+``cmesh``           concentrated mesh: ``concentration`` tiles per
+                    router (default 4), halving hop counts; XY/YX over
+                    the reduced router grid
+==================  ================================================
+
+Adding a topology means subclassing :class:`Topology`, implementing the
+structure methods plus :meth:`route`, and registering it in
+:func:`build_topology` — routers, interfaces, routing tables, filters,
+and the CLI pick it up unchanged.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
-from repro.noc.routing import Direction
+from repro.noc.routing import Direction, OPPOSITE, xy_route, yx_route
+
+TOPOLOGY_NAMES = ("mesh", "torus", "ring", "cmesh")
 
 
-class Mesh:
+def squarest_shape(count: int) -> Tuple[int, int]:
+    """The most-square ``rows x cols`` factorization of ``count``
+    (rows <= cols); (1, n) for primes."""
+    if count < 1:
+        raise ConfigError("node count must be >= 1")
+    for rows in range(math.isqrt(count), 0, -1):
+        if count % rows == 0:
+            return rows, count // rows
+    raise ConfigError(f"no factorization for {count}")  # pragma: no cover
+
+
+class Topology:
+    """Abstract fabric: structure, routing, and deadlock-avoidance info.
+
+    Subclasses must set ``kind``, ``num_tiles``, ``num_routers``, and
+    ``radix`` and implement the structure/routing methods.  Ports are
+    plain ints in ``[0, radix)``; routers index their port arrays with
+    them directly.
+    """
+
+    kind: str = "abstract"
+    #: ports are :class:`~repro.noc.routing.Direction` values (mesh-like
+    #: fabrics); route_compute rewraps them for callers.
+    ports_are_directions: bool = False
+    #: virtual-channel classes per vnet (2 for dateline fabrics).
+    num_vc_classes: int = 1
+
+    num_tiles: int
+    num_routers: int
+    radix: int
+
+    # -- structure -----------------------------------------------------
+
+    def router_ports(self, router: int) -> List[int]:
+        """Port ids present at a router (ejection ports and links)."""
+        raise NotImplementedError
+
+    def link(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        """``(neighbour router, facing port)`` for a link port, or None
+        for ejection ports.  Links are symmetric pairs."""
+        raise NotImplementedError
+
+    def eject_tile(self, router: int, port: int) -> Optional[int]:
+        """Tile attached at an ejection port, or None for link ports."""
+        raise NotImplementedError
+
+    def attach(self, tile: int) -> Tuple[int, int]:
+        """``(router, port)`` where a tile's network interface plugs in."""
+        raise NotImplementedError
+
+    def dateline_mask(self, router: int) -> int:
+        """Bitmask of out-ports whose traversal bumps the VC class."""
+        return 0
+
+    def port_name(self, port: int) -> str:
+        """Human-readable port label (stats and the topo inspector)."""
+        raise NotImplementedError
+
+    # -- routing -------------------------------------------------------
+
+    def route(self, discipline: str, cur: int, dest_tile: int) -> int:
+        """Next-hop output port at router ``cur`` toward ``dest_tile``
+        under ``"xy"`` or ``"yx"`` dimension ordering."""
+        raise NotImplementedError
+
+    # -- placement and metrics -----------------------------------------
+
+    def memory_controller_tiles(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Router hops between two tiles under this fabric's routing."""
+        raise NotImplementedError
+
+    # -- derived helpers -----------------------------------------------
+
+    def links(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Every directed link as ``(router, port, neighbour, port)``."""
+        for router in range(self.num_routers):
+            for port in self.router_ports(router):
+                link = self.link(router, port)
+                if link is not None:
+                    yield (router, port, link[0], link[1])
+
+    def average_hop_distance(self) -> float:
+        """Mean router hops over all ordered tile pairs (a != b)."""
+        tiles = self.num_tiles
+        if tiles < 2:
+            return 0.0
+        total = sum(self.hop_distance(a, b)
+                    for a in range(tiles) for b in range(tiles) if a != b)
+        return total / (tiles * (tiles - 1))
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(tiles={self.num_tiles}, "
+                f"routers={self.num_routers}, radix={self.radix})")
+
+
+class Mesh(Topology):
     """A ``rows`` x ``cols`` mesh of tiles.
 
     Tile ids are assigned row-major: tile ``r * cols + c`` sits at
@@ -16,12 +164,17 @@ class Mesh:
     tiles (Table I), or at tile 0 for meshes smaller than 2x2.
     """
 
+    kind = "mesh"
+    ports_are_directions = True
+
     def __init__(self, rows: int, cols: int) -> None:
         if rows < 1 or cols < 1:
             raise ConfigError("mesh must be at least 1x1")
         self.rows = rows
         self.cols = cols
         self.num_tiles = rows * cols
+        self.num_routers = self.num_tiles
+        self.radix = len(Direction)
         self._neighbors: List[Dict[Direction, int]] = [
             self._compute_neighbors(tile) for tile in range(self.num_tiles)
         ]
@@ -56,8 +209,42 @@ class Mesh:
             result[Direction.EAST] = self.tile_at(row, col + 1)
         return result
 
+    # -- Topology interface --------------------------------------------
+
+    def router_ports(self, router: int) -> List[int]:
+        return [int(Direction.LOCAL)] + [
+            int(d) for d in self._neighbors[router]]
+
+    def link(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port == Direction.LOCAL:
+            return None
+        neighbor = self._neighbors[router].get(Direction(port))
+        if neighbor is None:
+            return None
+        return neighbor, int(OPPOSITE[port])
+
+    def eject_tile(self, router: int, port: int) -> Optional[int]:
+        return router if port == Direction.LOCAL else None
+
+    def attach(self, tile: int) -> Tuple[int, int]:
+        return tile, int(Direction.LOCAL)
+
+    def port_name(self, port: int) -> str:
+        return Direction(port).name.lower()
+
+    def route(self, discipline: str, cur: int, dest_tile: int) -> int:
+        cur_row, cur_col = self.coords(cur)
+        dst_row, dst_col = self.coords(dest_tile)
+        if discipline == "xy":
+            return int(xy_route(cur_row, cur_col, dst_row, dst_col))
+        return int(yx_route(cur_row, cur_col, dst_row, dst_col))
+
     def memory_controller_tiles(self) -> Tuple[int, ...]:
-        """Tiles hosting memory controllers: the four corners."""
+        """Tiles hosting memory controllers: the four corners.
+
+        Degenerate 1xN / Nx1 meshes collapse coincident corners to a
+        deduplicated set (two controllers on a line, one on a 1x1).
+        """
         corners = {
             self.tile_at(0, 0),
             self.tile_at(0, self.cols - 1),
@@ -74,3 +261,358 @@ class Mesh:
 
     def __repr__(self) -> str:
         return f"Mesh({self.rows}x{self.cols})"
+
+
+def _ring_step(cur: int, dst: int, size: int) -> int:
+    """Direction (+1 forward / -1 backward / 0 arrived) of the shortest
+    walk around a ``size``-node ring.
+
+    The equal-distance tie (even rings, ``size // 2`` apart) breaks
+    *antisymmetrically* — ``a -> b`` and ``b -> a`` pick opposite
+    directions — so the reverse route always retraces the same links.
+    The in-network filter placement relies on a YX push retracing its
+    XY request (§III-C); antisymmetry extends that property to
+    wraparound fabrics.
+    """
+    if cur == dst:
+        return 0
+    forward = (dst - cur) % size
+    backward = (cur - dst) % size
+    if forward < backward:
+        return 1
+    if backward < forward:
+        return -1
+    return 1 if dst > cur else -1
+
+
+class Torus(Topology):
+    """A ``rows`` x ``cols`` 2D torus (mesh plus wraparound links).
+
+    Routing is dimension-ordered like the mesh, but each dimension takes
+    the shorter way around its ring.  The wraparound links are datelines:
+    crossing one bumps the packet into VC class 1 of its vnet, making
+    dimension-ordered routing deadlock-free (two classes per vnet, so
+    ``vcs_per_vnet`` must be even).
+    """
+
+    kind = "torus"
+    ports_are_directions = True
+    num_vc_classes = 2
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigError("torus must be at least 1x1")
+        self.rows = rows
+        self.cols = cols
+        self.num_tiles = rows * cols
+        self.num_routers = self.num_tiles
+        self.radix = len(Direction)
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        return divmod(tile, self.cols)
+
+    def tile_at(self, row: int, col: int) -> int:
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def router_ports(self, router: int) -> List[int]:
+        ports = [int(Direction.LOCAL)]
+        if self.rows > 1:
+            ports += [int(Direction.NORTH), int(Direction.SOUTH)]
+        if self.cols > 1:
+            ports += [int(Direction.EAST), int(Direction.WEST)]
+        return ports
+
+    def link(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port == Direction.LOCAL:
+            return None
+        row, col = self.coords(router)
+        if port == Direction.NORTH:
+            if self.rows < 2:
+                return None
+            return self.tile_at(row - 1, col), int(Direction.SOUTH)
+        if port == Direction.SOUTH:
+            if self.rows < 2:
+                return None
+            return self.tile_at(row + 1, col), int(Direction.NORTH)
+        if port == Direction.EAST:
+            if self.cols < 2:
+                return None
+            return self.tile_at(row, col + 1), int(Direction.WEST)
+        if port == Direction.WEST:
+            if self.cols < 2:
+                return None
+            return self.tile_at(row, col - 1), int(Direction.EAST)
+        return None
+
+    def eject_tile(self, router: int, port: int) -> Optional[int]:
+        return router if port == Direction.LOCAL else None
+
+    def attach(self, tile: int) -> Tuple[int, int]:
+        return tile, int(Direction.LOCAL)
+
+    def dateline_mask(self, router: int) -> int:
+        """Wraparound links: one dateline per unidirectional ring."""
+        row, col = self.coords(router)
+        mask = 0
+        if self.cols > 1:
+            if col == self.cols - 1:
+                mask |= 1 << Direction.EAST
+            if col == 0:
+                mask |= 1 << Direction.WEST
+        if self.rows > 1:
+            if row == self.rows - 1:
+                mask |= 1 << Direction.SOUTH
+            if row == 0:
+                mask |= 1 << Direction.NORTH
+        return mask
+
+    def port_name(self, port: int) -> str:
+        return Direction(port).name.lower()
+
+    def route(self, discipline: str, cur: int, dest_tile: int) -> int:
+        cur_row, cur_col = self.coords(cur)
+        dst_row, dst_col = self.coords(dest_tile)
+        col_step = _ring_step(cur_col, dst_col, self.cols)
+        row_step = _ring_step(cur_row, dst_row, self.rows)
+        if discipline == "xy":
+            if col_step:
+                return int(Direction.EAST if col_step > 0
+                           else Direction.WEST)
+            if row_step:
+                return int(Direction.SOUTH if row_step > 0
+                           else Direction.NORTH)
+            return int(Direction.LOCAL)
+        if row_step:
+            return int(Direction.SOUTH if row_step > 0
+                       else Direction.NORTH)
+        if col_step:
+            return int(Direction.EAST if col_step > 0 else Direction.WEST)
+        return int(Direction.LOCAL)
+
+    def memory_controller_tiles(self) -> Tuple[int, ...]:
+        """Grid-corner tiles, as on the mesh (deduplicated when rows or
+        cols degenerate to 1)."""
+        corners = {
+            self.tile_at(0, 0),
+            self.tile_at(0, self.cols - 1),
+            self.tile_at(self.rows - 1, 0),
+            self.tile_at(self.rows - 1, self.cols - 1),
+        }
+        return tuple(sorted(corners))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        dr = abs(ra - rb)
+        dc = abs(ca - cb)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def __repr__(self) -> str:
+        return f"Torus({self.rows}x{self.cols})"
+
+
+class Ring(Topology):
+    """A bidirectional ring of ``n`` tiles.
+
+    Port 0 ejects locally; port 1 (``right``) steps to tile+1, port 2
+    (``left``) to tile-1.  Routing takes the shorter direction with the
+    same antisymmetric tie-break as the torus rings; the two wraparound
+    links are datelines (VC class 1), so ``vcs_per_vnet`` must be even.
+    Both routing disciplines coincide — there is only one dimension.
+    """
+
+    kind = "ring"
+    num_vc_classes = 2
+
+    LOCAL = 0
+    RIGHT = 1
+    LEFT = 2
+    _PORT_NAMES = ("local", "right", "left")
+
+    def __init__(self, num_tiles: int) -> None:
+        if num_tiles < 1:
+            raise ConfigError("ring must have at least 1 tile")
+        self.num_tiles = num_tiles
+        self.num_routers = num_tiles
+        self.radix = 3
+
+    def router_ports(self, router: int) -> List[int]:
+        if self.num_tiles < 2:
+            return [self.LOCAL]
+        return [self.LOCAL, self.RIGHT, self.LEFT]
+
+    def link(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port == self.LOCAL or self.num_tiles < 2:
+            return None
+        if port == self.RIGHT:
+            return (router + 1) % self.num_tiles, self.LEFT
+        if port == self.LEFT:
+            return (router - 1) % self.num_tiles, self.RIGHT
+        return None
+
+    def eject_tile(self, router: int, port: int) -> Optional[int]:
+        return router if port == self.LOCAL else None
+
+    def attach(self, tile: int) -> Tuple[int, int]:
+        return tile, self.LOCAL
+
+    def dateline_mask(self, router: int) -> int:
+        if self.num_tiles < 2:
+            return 0
+        mask = 0
+        if router == self.num_tiles - 1:
+            mask |= 1 << self.RIGHT
+        if router == 0:
+            mask |= 1 << self.LEFT
+        return mask
+
+    def port_name(self, port: int) -> str:
+        return self._PORT_NAMES[port]
+
+    def route(self, discipline: str, cur: int, dest_tile: int) -> int:
+        step = _ring_step(cur, dest_tile, self.num_tiles)
+        if step == 0:
+            return self.LOCAL
+        return self.RIGHT if step > 0 else self.LEFT
+
+    def memory_controller_tiles(self) -> Tuple[int, ...]:
+        """Up to four controllers spaced evenly around the ring."""
+        n = self.num_tiles
+        return tuple(sorted({(i * n) // 4 for i in range(4)}))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.num_tiles - d)
+
+    def __repr__(self) -> str:
+        return f"Ring({self.num_tiles})"
+
+
+class ConcentratedMesh(Topology):
+    """A concentrated mesh: ``concentration`` tiles share each router.
+
+    Tile ``t`` attaches to router ``t // c`` at local port ``t % c``;
+    the routers form the squarest possible grid and route XY/YX like
+    the plain mesh, so no extra deadlock-avoidance machinery is needed.
+    With c=4 the router grid shrinks 4x in node count, roughly halving
+    hop counts at the cost of a radix-(c+4) router.
+    """
+
+    kind = "cmesh"
+
+    def __init__(self, num_tiles: int, concentration: int = 4) -> None:
+        if num_tiles < 1:
+            raise ConfigError("cmesh must have at least 1 tile")
+        if concentration < 1:
+            raise ConfigError("concentration must be >= 1")
+        if num_tiles % concentration:
+            raise ConfigError(
+                f"{num_tiles} tiles do not split into routers of "
+                f"{concentration}")
+        self.num_tiles = num_tiles
+        self.concentration = concentration
+        self.num_routers = num_tiles // concentration
+        self.rows, self.cols = squarest_shape(self.num_routers)
+        #: link ports sit after the local ports, in Direction order
+        #: (port = _dir_base + Direction), so OPPOSITE still applies.
+        self._dir_base = concentration - 1
+        self.radix = concentration + 4
+
+    def router_coords(self, router: int) -> Tuple[int, int]:
+        return divmod(router, self.cols)
+
+    def router_at(self, row: int, col: int) -> int:
+        return row * self.cols + col
+
+    def _link_port(self, direction: Direction) -> int:
+        return self._dir_base + int(direction)
+
+    def router_ports(self, router: int) -> List[int]:
+        ports = list(range(self.concentration))
+        row, col = self.router_coords(router)
+        if row > 0:
+            ports.append(self._link_port(Direction.NORTH))
+        if row < self.rows - 1:
+            ports.append(self._link_port(Direction.SOUTH))
+        if col > 0:
+            ports.append(self._link_port(Direction.WEST))
+        if col < self.cols - 1:
+            ports.append(self._link_port(Direction.EAST))
+        return ports
+
+    def link(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port < self.concentration:
+            return None
+        direction = Direction(port - self._dir_base)
+        row, col = self.router_coords(router)
+        if direction == Direction.NORTH and row > 0:
+            neighbor = self.router_at(row - 1, col)
+        elif direction == Direction.SOUTH and row < self.rows - 1:
+            neighbor = self.router_at(row + 1, col)
+        elif direction == Direction.WEST and col > 0:
+            neighbor = self.router_at(row, col - 1)
+        elif direction == Direction.EAST and col < self.cols - 1:
+            neighbor = self.router_at(row, col + 1)
+        else:
+            return None
+        return neighbor, self._link_port(OPPOSITE[direction])
+
+    def eject_tile(self, router: int, port: int) -> Optional[int]:
+        if port < self.concentration:
+            return router * self.concentration + port
+        return None
+
+    def attach(self, tile: int) -> Tuple[int, int]:
+        return tile // self.concentration, tile % self.concentration
+
+    def port_name(self, port: int) -> str:
+        if port < self.concentration:
+            return f"local{port}"
+        return Direction(port - self._dir_base).name.lower()
+
+    def route(self, discipline: str, cur: int, dest_tile: int) -> int:
+        dest_router, local = divmod(dest_tile, self.concentration)
+        if dest_router == cur:
+            return local
+        cur_row, cur_col = self.router_coords(cur)
+        dst_row, dst_col = self.router_coords(dest_router)
+        if discipline == "xy":
+            step = xy_route(cur_row, cur_col, dst_row, dst_col)
+        else:
+            step = yx_route(cur_row, cur_col, dst_row, dst_col)
+        return self._link_port(step)
+
+    def memory_controller_tiles(self) -> Tuple[int, ...]:
+        """The first tile of each corner router (deduplicated)."""
+        corners = {
+            self.router_at(0, 0),
+            self.router_at(0, self.cols - 1),
+            self.router_at(self.rows - 1, 0),
+            self.router_at(self.rows - 1, self.cols - 1),
+        }
+        return tuple(sorted(r * self.concentration for r in corners))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ra, ca = self.router_coords(a // self.concentration)
+        rb, cb = self.router_coords(b // self.concentration)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def __repr__(self) -> str:
+        return (f"ConcentratedMesh({self.rows}x{self.cols}x"
+                f"{self.concentration})")
+
+
+def build_topology(params) -> Topology:
+    """Instantiate the fabric described by a :class:`NoCParams`."""
+    kind = getattr(params, "topology", "mesh")
+    if kind == "mesh":
+        return Mesh(params.rows, params.cols)
+    if kind == "torus":
+        return Torus(params.rows, params.cols)
+    if kind == "ring":
+        return Ring(params.rows * params.cols)
+    if kind == "cmesh":
+        return ConcentratedMesh(params.rows * params.cols,
+                                getattr(params, "concentration", 4))
+    raise ConfigError(
+        f"unknown topology {kind!r}; expected one of {TOPOLOGY_NAMES}")

@@ -68,19 +68,36 @@ class VirtualChannel:
 
 
 class InputPort:
-    """All virtual channels of one router input port, grouped by vnet."""
+    """All virtual channels of one router input port.
 
-    __slots__ = ("vcs",)
+    ``vcs`` is grouped into *buckets* of ``vcs_per_vnet // num_classes``
+    channels: bucket ``vnet * num_classes + cls`` holds VC class ``cls``
+    of a vnet.  Fabrics without dateline deadlock avoidance use one
+    class per vnet, so bucket ids coincide with vnet ids and the layout
+    is exactly the historical per-vnet grouping; torus/ring routers
+    split each vnet into two classes and pick the bucket per hop.
+    """
 
-    def __init__(self, num_vnets: int, vcs_per_vnet: int) -> None:
+    __slots__ = ("vcs", "num_classes")
+
+    def __init__(self, num_vnets: int, vcs_per_vnet: int,
+                 num_classes: int = 1) -> None:
+        if num_classes < 1 or vcs_per_vnet % num_classes:
+            raise SimulationError(
+                f"{vcs_per_vnet} VCs per vnet do not split into "
+                f"{num_classes} classes")
+        self.num_classes = num_classes
+        per_class = vcs_per_vnet // num_classes
         self.vcs: List[List[VirtualChannel]] = [
-            [VirtualChannel(vnet, i) for i in range(vcs_per_vnet)]
-            for vnet in range(num_vnets)
+            [VirtualChannel(bucket // num_classes, i)
+             for i in range(per_class)]
+            for bucket in range(num_vnets * num_classes)
         ]
 
-    def free_vc(self, vnet: int) -> Optional[VirtualChannel]:
-        """A free VC in the given vnet, or None when all are busy."""
-        for vc in self.vcs[vnet]:
+    def free_vc(self, bucket: int) -> Optional[VirtualChannel]:
+        """A free VC in the given bucket (== vnet when single-class),
+        or None when all are busy."""
+        for vc in self.vcs[bucket]:
             if vc.packet is None and not vc.reserved:
                 return vc
         return None
@@ -91,7 +108,12 @@ class InputPort:
                 if vc.packet is not None]
 
     def occupied_in_vnet(self, vnet: int) -> List[VirtualChannel]:
-        return [vc for vc in self.vcs[vnet] if vc.packet is not None]
+        """Occupied VCs of a vnet, across all of its VC classes."""
+        start = vnet * self.num_classes
+        return [vc
+                for bucket in range(start, start + self.num_classes)
+                for vc in self.vcs[bucket]
+                if vc.packet is not None]
 
     @property
     def empty(self) -> bool:

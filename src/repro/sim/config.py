@@ -63,12 +63,37 @@ def bench_kwargs(**overrides) -> dict:
     return merged
 
 
-def mesh_shape(num_cores: int) -> Tuple[int, int]:
-    """Squarest mesh for a core count (16 -> 4x4, 64 -> 8x8)."""
-    root = int(math.isqrt(num_cores))
-    if root * root != num_cores:
-        raise ConfigError(f"core count {num_cores} is not a square")
-    return root, root
+def mesh_shape(num_cores: int,
+               shape: Optional[str] = None) -> Tuple[int, int]:
+    """The ``(rows, cols)`` tile grid for a core count.
+
+    With ``shape`` (a ``"RxC"`` string such as ``"4x8"``, as passed by
+    ``--shape``) the explicit grid is used after checking it holds
+    exactly ``num_cores`` tiles.  Otherwise the squarest factorization
+    is chosen: perfect squares stay square (16 -> 4x4, 64 -> 8x8) and
+    other counts get the most-square factor pair (12 -> 3x4; primes
+    degenerate to 1xN).
+    """
+    if shape is not None:
+        parts = str(shape).lower().replace("×", "x").split("x")
+        try:
+            rows, cols = (int(part) for part in parts)
+        except ValueError:
+            raise ConfigError(
+                f"shape {shape!r} is not of the form ROWSxCOLS") from None
+        if rows < 1 or cols < 1:
+            raise ConfigError(f"shape {shape!r} has a non-positive side")
+        if rows * cols != num_cores:
+            raise ConfigError(
+                f"shape {rows}x{cols} holds {rows * cols} tiles, "
+                f"but {num_cores} cores were requested")
+        return rows, cols
+    if num_cores < 1:
+        raise ConfigError("core count must be >= 1")
+    for rows in range(math.isqrt(num_cores), 0, -1):
+        if num_cores % rows == 0:
+            return rows, num_cores // rows
+    raise ConfigError(f"no factorization for {num_cores}")  # unreachable
 
 
 def _table1_knobs(mode: str, num_cores: int) -> Tuple[int, int]:
@@ -120,19 +145,26 @@ def make_params(config: str = "baseline", num_cores: int = 16,
                 tpc_threshold: Optional[int] = None,
                 time_window: Optional[int] = None,
                 shadow_cycles: Optional[int] = None,
-                max_outstanding: int = 16) -> SystemParams:
+                max_outstanding: int = 16,
+                topology: str = "mesh",
+                shape: Optional[str] = None,
+                concentration: int = 4) -> SystemParams:
     """Build the full parameter set for a named configuration.
 
     ``l2_kb``/``llc_slice_kb`` support the Fig. 19 cache sweep and the
     scaled-down sizes the Python-speed benchmarks use; ``link_bits``
-    supports the Fig. 18 link-width sweep.
+    supports the Fig. 18 link-width sweep.  ``topology`` selects the
+    interconnect fabric (mesh/torus/ring/cmesh), ``shape`` pins an
+    explicit ``"RxC"`` tile grid, and ``concentration`` sets the tiles
+    per router under ``cmesh``.
     """
     if config not in CONFIG_NAMES:
         raise ConfigError(
             f"unknown config {config!r}; expected one of {CONFIG_NAMES}")
-    rows, cols = mesh_shape(num_cores)
+    rows, cols = mesh_shape(num_cores, shape)
     return SystemParams(
-        noc=NoCParams(rows=rows, cols=cols, link_bits=link_bits),
+        noc=NoCParams(rows=rows, cols=cols, link_bits=link_bits,
+                      topology=topology, concentration=concentration),
         core=CoreParams(max_outstanding=max_outstanding),
         l1=CacheParams(size_bytes=l1_kb * 1024, assoc=8, hit_latency=2,
                        mshrs=8),

@@ -42,7 +42,8 @@ class SimResult:
     requests_filtered: int = 0
     pushes_triggered: int = 0
     mean_push_degree: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: free-form annotations (e.g. ``topology`` on non-mesh fabrics)
+    extra: Dict[str, object] = field(default_factory=dict)
 
     @property
     def l2_mpki(self) -> float:
@@ -179,6 +180,13 @@ def collect_result(system, workload: str, config: str,
 
     traffic = {cls.name: flits
                for cls, flits in system.network.traffic_breakdown().items()}
+    # Tag non-mesh runs with their fabric so exported records are
+    # self-describing; mesh runs stay byte-identical to the historical
+    # (pre-topology) records.
+    extra: Dict[str, object] = {}
+    topology_kind = system.network.topology.kind
+    if topology_kind != "mesh":
+        extra["topology"] = topology_kind
     return SimResult(
         config=config,
         workload=workload,
@@ -198,4 +206,5 @@ def collect_result(system, workload: str, config: str,
         pushes_triggered=pushes,
         mean_push_degree=(degree_hist_total / degree_hist_count
                           if degree_hist_count else 0.0),
+        extra=extra,
     )

@@ -52,8 +52,9 @@ from repro.sim.results import SimResult
 
 #: Bump when simulator behavior changes in any result-visible way; every
 #: previously cached entry becomes unreachable (a miss) under the new
-#: version.
-CACHE_SCHEMA_VERSION = 1
+#: version.  2: pluggable topologies (params gained topology fields and
+#: results may carry a topology tag).
+CACHE_SCHEMA_VERSION = 2
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -85,8 +86,10 @@ class SweepPoint:
                    kwargs=tuple(sorted(kwargs.items())))
 
     def label(self) -> str:
+        topology = dict(self.kwargs).get("topology", "mesh")
+        suffix = "" if topology == "mesh" else f"/{topology}"
         return (f"{self.workload}/{self.config}/"
-                f"{self.num_cores}c/s{self.seed}")
+                f"{self.num_cores}c/s{self.seed}{suffix}")
 
 
 def derive_seed(base_seed: int, index: int) -> int:

@@ -67,11 +67,11 @@ class System:
         #: authoritative line-version registry shared by all LLC slices
         self.versions: Dict[int, int] = {}
 
-        mesh = self.network.mesh
-        self._mem_tiles = mesh.memory_controller_tiles()
+        topology = self.network.topology
+        self._mem_tiles = topology.memory_controller_tiles()
         self._nearest_ctrl = [
             min(self._mem_tiles,
-                key=lambda ctrl: (mesh.hop_distance(tile, ctrl), ctrl))
+                key=lambda ctrl: (topology.hop_distance(tile, ctrl), ctrl))
             for tile in range(params.num_cores)
         ]
 

@@ -83,3 +83,73 @@ class TestCommands:
                      "--cores", "4", "--scaled", "--no-cache"])
         assert code == 0
         assert not cache_dir.exists()
+
+
+class TestTopologyFlags:
+    def test_run_on_torus(self, capsys) -> None:
+        code = main(["run", "pathfinder", "noprefetch", "--cores", "4",
+                     "--scaled", "--topology", "torus"])
+        assert code == 0
+        assert "L2 MPKI" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_topology(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "cachebw", "ordpush", "--topology", "hypercube"])
+
+    def test_shape_flag_threads_through(self, capsys) -> None:
+        code = main(["run", "pathfinder", "noprefetch", "--cores", "4",
+                     "--scaled", "--shape", "1x4", "--topology", "ring"])
+        assert code == 0
+
+    def test_sweep_topologies_axis(self, capsys, tmp_path,
+                                   monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "pathfinder", "--configs", "noprefetch",
+                     "--cores", "4", "--scaled",
+                     "--topologies", "mesh", "cmesh",
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "cmesh" in printed
+        import json
+        records = json.loads(out.read_text())
+        assert len(records) == 2
+        kinds = {r.get("extra", {}).get("topology", "mesh")
+                 for r in records}
+        assert kinds == {"mesh", "cmesh"}
+
+
+class TestTopoInspector:
+    @pytest.mark.parametrize("topology,cores", [("mesh", 16),
+                                                ("torus", 16),
+                                                ("ring", 16),
+                                                ("cmesh", 16)])
+    def test_inspects_every_fabric(self, capsys, topology: str,
+                                   cores: int) -> None:
+        code = main(["topo", topology, "--cores", str(cores)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"topology          : {topology}" in out
+        assert "tiles             : 16" in out
+        assert "average hop count" in out
+
+    def test_mesh_link_count(self, capsys) -> None:
+        main(["topo", "mesh", "--cores", "16"])
+        out = capsys.readouterr().out
+        # 4x4 mesh: 24 bidirectional links, no datelines.
+        assert "48 directed (24 bidirectional)" in out
+        assert "dateline links    : 0" in out
+
+    def test_torus_reports_datelines(self, capsys) -> None:
+        main(["topo", "torus", "--cores", "16"])
+        out = capsys.readouterr().out
+        # 4x4 torus: 32 bidirectional links, 16 dateline crossings.
+        assert "64 directed (32 bidirectional)" in out
+        assert "dateline links    : 16 (2 VC classes per vnet)" in out
+
+    def test_cmesh_concentration_flag(self, capsys) -> None:
+        main(["topo", "cmesh", "--cores", "16", "--concentration", "2"])
+        out = capsys.readouterr().out
+        assert "routers           : 8" in out

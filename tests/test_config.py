@@ -20,9 +20,28 @@ class TestMeshShape:
         assert mesh_shape(64) == (8, 8)
         assert mesh_shape(4) == (2, 2)
 
-    def test_rejects_non_square(self) -> None:
+    def test_non_square_counts_get_squarest_factor_pair(self) -> None:
+        assert mesh_shape(12) == (3, 4)
+        assert mesh_shape(8) == (2, 4)
+        assert mesh_shape(7) == (1, 7)  # primes degenerate to a line
+
+    def test_explicit_shape(self) -> None:
+        assert mesh_shape(32, "4x8") == (4, 8)
+        assert mesh_shape(32, "8X4") == (8, 4)
+        assert mesh_shape(16, "16x1") == (16, 1)
+
+    def test_explicit_shape_must_match_core_count(self) -> None:
         with pytest.raises(ConfigError):
-            mesh_shape(12)
+            mesh_shape(16, "4x8")
+
+    @pytest.mark.parametrize("bad", ["4by8", "x8", "4x", "0x8", "-4x8"])
+    def test_malformed_shape_rejected(self, bad: str) -> None:
+        with pytest.raises(ConfigError):
+            mesh_shape(32, bad)
+
+    def test_make_params_threads_shape(self) -> None:
+        noc = make_params("baseline", num_cores=32, shape="4x8").noc
+        assert (noc.rows, noc.cols) == (4, 8)
 
 
 class TestTable1Defaults:

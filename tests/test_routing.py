@@ -84,6 +84,26 @@ class TestRoutingTables:
         assert tables.next_hop(vnet, cur, dest) is route_compute(
             mesh, cur, dest, vnet)
 
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.data())
+    def test_tables_match_closed_form_on_random_meshes(self, rows: int,
+                                                       cols: int,
+                                                       data) -> None:
+        """The table-driven generalization must reproduce the original
+        closed-form XY/YX answers on every mesh size, not just 4x4."""
+        mesh = Mesh(rows, cols)
+        tables = RoutingTables(mesh)
+        tile = st.integers(min_value=0, max_value=mesh.num_tiles - 1)
+        cur = data.draw(tile, label="cur")
+        dest = data.draw(tile, label="dest")
+        cr, cc = mesh.coords(cur)
+        dr, dc = mesh.coords(dest)
+        assert tables.next_hop(0, cur, dest) is xy_route(cr, cc, dr, dc)
+        for vnet in (1, 2):
+            assert tables.next_hop(vnet, cur, dest) is yx_route(cr, cc,
+                                                                dr, dc)
+
 
 class TestMulticastSplit:
     def test_groups_partition_destinations(self) -> None:
