@@ -1,21 +1,29 @@
 """Simulator-throughput microbenchmarks (``BENCH_simperf.json``).
 
-Two measurements:
+Three measurements:
 
-* **cycles/sec** — wall-clock throughput of the per-cycle hot path on a
-  single mid-size run, the number the hot-loop optimizations move;
+* **hot_path cycles/sec** — wall-clock throughput of a mid-size
+  streaming run whose profile is dominated by the NoC (router ticks and
+  link events), the number the event-driven-core optimizations move;
+* **cache_path cycles/sec** — the same measurement on an L2-resident
+  shared-read point where the coherence/cache/CPU layer (protocol
+  handlers, SRAM probes, the prefetch path, trace replay) dominates and
+  router ticks are a minority — the number the coherence-layer
+  optimizations (message/MSHR pooling, flat-array caches, precompiled
+  trace buffers) move;
 * **sweep wall-clock** — a 4-point x 2-config sweep executed twice (as
   the figure suite does: every figure re-reads the shared baseline
   cells), comparing the seed's serial no-cache path against
   ``run_sweep(jobs=4)`` with a cold on-disk cache.
 
-Both results, plus the improvement ratio, are written to
+All results, plus the improvement ratio, are written to
 ``BENCH_simperf.json`` at the repository root.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import tempfile
 import time
@@ -77,8 +85,36 @@ def test_simulated_cycles_per_second() -> None:
     assert result.cycles > 0 and elapsed > 0
 
 
+def test_cache_dominated_cycles_per_second() -> None:
+    """Coherence-layer throughput on an L2-resident shared-read point.
+
+    ``array_lines=256`` fits the bench-profile 512-line private L2, so
+    after the first pass the run is cache hits, protocol handlers, and
+    prefetch traffic — router ticks are a minority of the profile.
+    """
+    start = time.perf_counter()
+    result = run_workload("cachebw", "baseline", num_cores=16, seed=1,
+                          array_lines=256, iters=6, **bench_kwargs())
+    elapsed = time.perf_counter() - start
+    cycles_per_sec = result.cycles / elapsed
+    _write_record({"cache_path": {
+        "workload": "cachebw/baseline/16c (L2-resident)",
+        "simulated_cycles": result.cycles,
+        "wall_seconds": round(elapsed, 4),
+        "cycles_per_sec": round(cycles_per_sec, 1),
+    }})
+    print(f"\ncache path: {result.cycles} cycles in {elapsed:.2f}s "
+          f"({cycles_per_sec:,.0f} cycles/s)")
+    assert result.cycles > 0 and elapsed > 0
+
+
 def test_sweep_speedup_over_serial() -> None:
-    """Parallel + cached sweep vs the serial seed path (>= 1.5x)."""
+    """Parallel + cached sweep vs the serial seed path (>= 1.5x).
+
+    Runs with ``REPRO_ASSERT_GC_PARKED`` set, so every sweep worker
+    asserts the pool initializer actually disabled its cyclic GC — a
+    regression there fails this benchmark, not just the unit test.
+    """
     points = _sweep_points()
 
     start = time.perf_counter()
@@ -91,11 +127,15 @@ def test_sweep_speedup_over_serial() -> None:
 
     with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
         cache = ResultCache(tmp)
-        start = time.perf_counter()
-        swept = []
-        for _ in range(SWEEP_PASSES):
-            swept = run_sweep(points, jobs=SWEEP_JOBS, cache=cache)
-        sweep_s = time.perf_counter() - start
+        os.environ["REPRO_ASSERT_GC_PARKED"] = "1"
+        try:
+            start = time.perf_counter()
+            swept = []
+            for _ in range(SWEEP_PASSES):
+                swept = run_sweep(points, jobs=SWEEP_JOBS, cache=cache)
+            sweep_s = time.perf_counter() - start
+        finally:
+            os.environ.pop("REPRO_ASSERT_GC_PARKED", None)
         hits, misses = cache.hits, cache.misses
 
     improvement = serial_s / sweep_s

@@ -38,3 +38,24 @@ def readable(state: PrivState) -> bool:
 
 def writable(state: PrivState) -> bool:
     return state in (PrivState.E, PrivState.M)
+
+
+# -- integer codings for the flat SRAM storage ------------------------
+#
+# The cache arrays store states as small ints in a bytearray; the enum
+# members remain the public vocabulary (handlers and tests compare with
+# ``is``).  Code 0 is reserved for an empty slot.
+
+#: code -> enum member (index 0 unused)
+STATE_OBJS = [None]
+#: enum member -> code
+STATE_CODE = {}
+for _member in (*PrivState, *DirState):
+    STATE_CODE[_member] = len(STATE_OBJS)
+    STATE_OBJS.append(_member)
+del _member
+
+#: private-state codes, for int comparisons on controller hot paths
+PRIV_S = STATE_CODE[PrivState.S]
+PRIV_E = STATE_CODE[PrivState.E]
+PRIV_M = STATE_CODE[PrivState.M]

@@ -29,35 +29,87 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.common.errors import ProtocolError
-from repro.common.messages import CoherenceMsg, MsgType, TrafficClass
+from repro.common.messages import (CoherenceMsg, MsgType, TrafficClass,
+                                   make_msg, recycle_msg)
 from repro.common.params import SystemParams
 from repro.common.scheduler import Scheduler
 from repro.common.stats import StatGroup
-from repro.cache.coherence import DirState
+from repro.cache.coherence import STATE_CODE, DirState
 from repro.cache.sram import CacheArray, CacheLine
 
 
-class DirEntry:
-    """Directory + data state for one line at its home slice."""
+def _mask_tiles(mask: int) -> List[int]:
+    """Set bits of ``mask`` as tile ids, in ascending (sorted) order."""
+    tiles = []
+    while mask:
+        low = mask & -mask
+        tiles.append(low.bit_length() - 1)
+        mask ^= low
+    return tiles
 
-    __slots__ = ("line_addr", "state", "sharers", "owner", "resident",
-                 "filling", "busy", "queue", "awaiting", "push_acks",
+
+class DirEntry:
+    """Directory + data state for one line at its home slice.
+
+    Sharer and outstanding-ack tracking use int bitmasks (bit *t* = tile
+    *t*), which is also how hardware directories store them; the
+    ``sharers`` / ``awaiting`` properties materialize sets for tests and
+    debug only.
+    """
+
+    __slots__ = ("line_addr", "state", "sharers_mask", "owner", "resident",
+                 "filling", "busy", "queue", "awaiting_mask", "push_acks",
                  "pending_grant")
 
     def __init__(self, line_addr: int) -> None:
         self.line_addr = line_addr
         self.state = DirState.I
-        self.sharers: Set[int] = set()
+        self.sharers_mask = 0
         self.owner: Optional[int] = None
         self.resident = False
         self.filling = False
         self.busy = False
         self.queue: List[CoherenceMsg] = []
         #: tiles whose INV/DOWNGRADE acknowledgment is outstanding
-        self.awaiting: Set[int] = set()
+        self.awaiting_mask = 0
         self.push_acks = 0
         #: continuation run when the outstanding acks have all arrived
         self.pending_grant: Optional[Callable[[], None]] = None
+
+    @property
+    def sharers(self) -> Set[int]:
+        return set(_mask_tiles(self.sharers_mask))
+
+    @property
+    def awaiting(self) -> Set[int]:
+        return set(_mask_tiles(self.awaiting_mask))
+
+
+#: LLC array lines are directory-shared by construction
+_DIR_S = STATE_CODE[DirState.S]
+
+
+class _Lookup:
+    """Pooled 'directory lookup done' scheduler event.
+
+    Mirrors the NoC's pooled link events: the slice pipelines one lookup
+    per cycle, so these fire on every LLC-bound message; recycling them
+    keeps the steady state allocation-free.  The event returns itself to
+    the pool *before* processing so the handler's own sends can reuse it
+    in the same cycle.
+    """
+
+    __slots__ = ("slice", "msg")
+
+    def __init__(self, slc: "LLCSlice") -> None:
+        self.slice = slc
+        self.msg: Optional[CoherenceMsg] = None
+
+    def __call__(self) -> None:
+        slc = self.slice
+        msg, self.msg = self.msg, None
+        slc._lookup_pool.append(self)
+        slc._process(msg)
 
 
 class LLCSlice:
@@ -91,13 +143,31 @@ class LLCSlice:
         self._c_eject = {cls: eject.counter(cls.name)
                          for cls in TrafficClass}
         self._c_gets_served = self.stats.counter("gets_served")
+        self._c_llc_misses = self.stats.counter("llc_misses")
+        self._c_coalesced_requests = self.stats.counter(
+            "coalesced_requests")
+        self._c_pushes_triggered = self.stats.counter("pushes_triggered")
+        self._c_writebacks_absorbed = self.stats.counter(
+            "writebacks_absorbed")
+        self._c_stale_putm_ignored = self.stats.counter(
+            "stale_putm_ignored")
+        self._c_orphan_acks = self.stats.counter("orphan_acks")
+        self._c_writebacks_to_memory = self.stats.counter(
+            "writebacks_to_memory")
+        self._c_getm_blocked = self.stats.counter("getm_blocked_on_push")
+        self._c_gets_shadow_filtered = self.stats.counter(
+            "gets_shadow_filtered")
+        self._c_llc_evictions = self.stats.counter("llc_evictions")
         self._push_degree_hist = self.stats.histogram("push_degree", 1, 65)
         self._next_free = 0
         self._coalesce = self.push.mode == "coalesce"
         #: push-disabled requesters (the PDRMap, Fig. 9)
         self.pdrmap: Set[int] = set()
-        #: coalescing windows: line -> extra GETS gathered during lookup
-        self._coalescing: Dict[int, List[CoherenceMsg]] = {}
+        #: coalescing windows: line -> extra requester tiles gathered
+        #: during the lookup (the messages themselves are consumed on
+        #: arrival; only their sources matter for the merged reply)
+        self._coalescing: Dict[int, List[int]] = {}
+        self._lookup_pool: List[_Lookup] = []
         #: in-flight push shadows: line -> (expiry cycle, destinations)
         self._push_shadow: Dict[int, tuple] = {}
         #: optional shared-access probe (Fig. 4): appends
@@ -116,29 +186,41 @@ class LLCSlice:
         if self._coalesce and msg.msg_type is MsgType.GETS:
             if msg.line_addr in self._coalescing:
                 # A lookup for this line is already in the pipeline: merge.
-                self._coalescing[msg.line_addr].append(msg)
-                self.stats.inc("coalesced_requests")
+                self._coalescing[msg.line_addr].append(msg.src)
+                self._c_coalesced_requests.value += 1
+                recycle_msg(msg)
                 return
             self._coalescing[msg.line_addr] = []
         now = self.scheduler.now
         start = max(now, self._next_free)
         self._next_free = start + 1
         latency = self.params.llc_slice.hit_latency
-        self.scheduler.at(start + latency, lambda: self._process(msg))
+        pool = self._lookup_pool
+        event = pool.pop() if pool else _Lookup(self)
+        event.msg = msg
+        self.scheduler.at(start + latency, event)
 
     # ------------------------------------------------------------------
     # per-line serialization
     # ------------------------------------------------------------------
 
     def _process(self, msg: CoherenceMsg) -> None:
+        # Consumption tracking: a handler that parks the message on a
+        # per-line queue returns True ("retained"); every other path
+        # finishes with the message here and recycles it.  A message
+        # drained off a queue later is recycled at that point instead.
+        if not self._process_msg(msg):
+            recycle_msg(msg)
+
+    def _process_msg(self, msg: CoherenceMsg) -> bool:
         line_addr = msg.line_addr
         if msg.msg_type is MsgType.MEM_DATA:
             self._on_mem_data(line_addr)
-            return
+            return False
         if msg.msg_type in (MsgType.INV_ACK, MsgType.PUSH_ACK,
                             MsgType.UNBLOCK):
             self._on_ack(msg)
-            return
+            return False
 
         entry = self._dir.get(line_addr)
         if msg.msg_type is MsgType.PUTM and (entry is None
@@ -147,11 +229,11 @@ class LLCSlice:
             # an LLC eviction): bank the version and forward to memory.
             self.versions[line_addr] = max(
                 self.versions.get(line_addr, 0), msg.payload)
-            self._send(CoherenceMsg(
+            self._send(make_msg(
                 MsgType.MEM_WB, line_addr, self.tile,
                 (self._mem_ctrl_of(self.tile),), requester=self.tile))
-            self.stats.inc("writebacks_to_memory")
-            return
+            self._c_writebacks_to_memory.value += 1
+            return False
         if entry is None:
             entry = DirEntry(line_addr)
             self._dir[line_addr] = entry
@@ -159,55 +241,60 @@ class LLCSlice:
             entry.queue.append(msg)
             if not entry.filling:
                 entry.filling = True
-                self.stats.inc("llc_misses")
-                self._send(CoherenceMsg(
+                self._c_llc_misses.value += 1
+                self._send(make_msg(
                     MsgType.MEM_READ, line_addr, self.tile,
                     (self._mem_ctrl_of(self.tile),), requester=self.tile))
-            return
+            return True
         if entry.busy:
             if self._ack_like(entry, msg):
                 # A PUTM from a tile we are waiting on IS its recall /
                 # downgrade acknowledgment (it carries the dirty data).
                 self._collect_ack(entry, msg)
-            else:
-                entry.queue.append(msg)
-            return
-        self._dispatch(entry, msg)
+                return False
+            entry.queue.append(msg)
+            return True
+        return self._dispatch(entry, msg)
 
     @staticmethod
     def _ack_like(entry: DirEntry, msg: CoherenceMsg) -> bool:
         """A PUTM from a tile we are waiting on acts as its ack."""
-        return (msg.msg_type is MsgType.PUTM and msg.src in entry.awaiting)
+        return (msg.msg_type is MsgType.PUTM
+                and entry.awaiting_mask >> msg.src & 1 == 1)
 
-    def _dispatch(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+    def _dispatch(self, entry: DirEntry, msg: CoherenceMsg) -> bool:
+        """Handle one resident, non-busy request; True if ``msg`` was
+        parked on a queue (and so must not be recycled yet)."""
         if msg.msg_type is MsgType.GETS:
-            self._on_gets(entry, msg)
-        elif msg.msg_type is MsgType.GETM:
-            self._on_getm(entry, msg)
-        elif msg.msg_type is MsgType.PUTM:
+            return self._on_gets(entry, msg)
+        if msg.msg_type is MsgType.GETM:
+            return self._on_getm(entry, msg)
+        if msg.msg_type is MsgType.PUTM:
             self._on_putm(entry, msg)
-        else:
-            raise ProtocolError(f"LLC slice {self.tile} cannot handle {msg}")
+            return False
+        raise ProtocolError(f"LLC slice {self.tile} cannot handle {msg}")
 
     def _drain(self, entry: DirEntry) -> None:
         entry.busy = False
-        entry.awaiting.clear()
+        entry.awaiting_mask = 0
         entry.pending_grant = None
         while entry.queue and not entry.busy:
-            self._dispatch(entry, entry.queue.pop(0))
+            msg = entry.queue.pop(0)
+            if not self._dispatch(entry, msg):
+                recycle_msg(msg)
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 
-    def _on_gets(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+    def _on_gets(self, entry: DirEntry, msg: CoherenceMsg) -> bool:
         requester = msg.src
         if self._shadow_filtered(entry.line_addr, requester):
             # The response is embedded in a push triggered moments ago
             # that lists this requester — the stationary-filter case the
             # unbounded-ejection model would otherwise miss.
-            self.stats.inc("gets_shadow_filtered")
-            return
+            self._c_gets_shadow_filtered.value += 1
+            return False
         self._c_gets_served.value += 1
         if (self.gets_log is not None
                 and self.watch_range[0] <= entry.line_addr
@@ -216,111 +303,111 @@ class LLCSlice:
                 (self.scheduler.now, entry.line_addr, requester))
         self._knob_on_request(requester, msg.need_push)
         coalesced = self._take_coalesced(entry.line_addr)
-        if coalesced:
+        if coalesced is not None and coalesced:
             # Concurrent readers merged in the lookup window force the
-            # line shared regardless of its current state.
+            # line shared regardless of its current state.  (The grant
+            # continuation captures plain tile ids, never the message:
+            # the message is recycled when this handler returns.)
             if entry.state is DirState.EM and entry.owner != requester:
                 owner = entry.owner
                 entry.busy = True
-                entry.awaiting = {owner}
-                self._send(CoherenceMsg(
+                entry.awaiting_mask = 1 << owner
+                self._send(make_msg(
                     MsgType.DOWNGRADE, entry.line_addr, self.tile,
                     (owner,), requester=requester))
                 entry.pending_grant = lambda: self._finish_coalesced(
-                    entry, msg, coalesced, extra_sharer=owner)
-                return
+                    entry, requester, coalesced, extra_sharer=owner)
+                return False
             entry.owner = None
-            self._finish_coalesced(entry, msg, coalesced)
-            return
+            self._finish_coalesced(entry, requester, coalesced)
+            return False
 
         if entry.state is DirState.I:
-            self._grant_exclusive(entry, requester, msg)
-            return
+            self._grant_exclusive(entry, requester)
+            return False
         if entry.state is DirState.EM:
             if entry.owner == requester:
-                self._grant_exclusive(entry, requester, msg)
-                return
-            self._downgrade_then_share(entry, msg)
-            return
+                self._grant_exclusive(entry, requester)
+                return False
+            self._downgrade_then_share(entry, requester)
+            return False
         # Shared (or P, which still serves reads with unicasts).
-        new_sharer = requester not in entry.sharers
-        entry.sharers.add(requester)
+        new_sharer = not entry.sharers_mask >> requester & 1
+        entry.sharers_mask |= 1 << requester
         prefetch_ok = self.push.push_on_prefetch or not msg.is_prefetch
         if (self.push.pushes and entry.state is DirState.S
                 and not new_sharer and prefetch_ok):
-            self._trigger_push(entry, msg)
-            return
-        self._reply_data_s(entry, (requester,), msg)
+            self._trigger_push(entry, requester)
+            return False
+        self._reply_data_s(entry, (requester,))
+        return False
 
-    def _finish_coalesced(self, entry: DirEntry, first: CoherenceMsg,
-                          extra: List[CoherenceMsg],
+    def _finish_coalesced(self, entry: DirEntry, first_src: int,
+                          extra_srcs: List[int],
                           extra_sharer: Optional[int] = None) -> None:
         entry.state = DirState.S
         if extra_sharer is not None:
-            entry.sharers.add(extra_sharer)
-        self._reply_coalesced(entry, first, extra)
+            entry.sharers_mask |= 1 << extra_sharer
+        self._reply_coalesced(entry, first_src, extra_srcs)
 
-    def _grant_exclusive(self, entry: DirEntry, requester: int,
-                         msg: CoherenceMsg) -> None:
+    def _grant_exclusive(self, entry: DirEntry, requester: int) -> None:
         version = self._bump_version(entry.line_addr)
         entry.state = DirState.EM
         entry.owner = requester
-        entry.sharers.clear()
+        entry.sharers_mask = 0
         # Block the line until the requester's UNBLOCK receipt ack.
         entry.busy = True
-        entry.awaiting = {requester}
-        self._send(CoherenceMsg(
+        entry.awaiting_mask = 1 << requester
+        self._send(make_msg(
             MsgType.DATA_E, entry.line_addr, self.tile, (requester,),
             requester=requester, payload=version,
             reset_push_counters=self._reset_flag(requester)))
 
     def _downgrade_then_share(self, entry: DirEntry,
-                              msg: CoherenceMsg) -> None:
+                              requester: int) -> None:
         owner = entry.owner
         entry.busy = True
-        entry.awaiting = {owner}
-        self._send(CoherenceMsg(
+        entry.awaiting_mask = 1 << owner
+        self._send(make_msg(
             MsgType.DOWNGRADE, entry.line_addr, self.tile, (owner,),
-            requester=msg.src))
+            requester=requester))
 
         def grant() -> None:
             entry.state = DirState.S
-            entry.sharers = {owner, msg.src}
+            entry.sharers_mask = (1 << owner) | (1 << requester)
             entry.owner = None
-            self._reply_data_s(entry, (msg.src,), msg)
+            self._reply_data_s(entry, (requester,))
 
         entry.pending_grant = grant
 
-    def _reply_data_s(self, entry: DirEntry, dests, msg: CoherenceMsg,
-                      ) -> None:
+    def _reply_data_s(self, entry: DirEntry, dests) -> None:
         version = self.versions.get(entry.line_addr, 0)
         for dest in dests:
-            self._send(CoherenceMsg(
+            self._send(make_msg(
                 MsgType.DATA_S, entry.line_addr, self.tile, (dest,),
                 requester=dest, payload=version,
                 reset_push_counters=self._reset_flag(dest)))
 
     # -- coalescing baseline ------------------------------------------------
 
-    def _take_coalesced(self, line_addr: int
-                        ) -> Optional[List[CoherenceMsg]]:
+    def _take_coalesced(self, line_addr: int) -> Optional[List[int]]:
         if self.push.mode != "coalesce":
             return None
         return self._coalescing.pop(line_addr, None)
 
-    def _reply_coalesced(self, entry: DirEntry, first: CoherenceMsg,
-                         extra: List[CoherenceMsg]) -> None:
+    def _reply_coalesced(self, entry: DirEntry, first_src: int,
+                         extra_srcs: List[int]) -> None:
         """One multicast DATA_S answers every request gathered in the
         lookup window — the Coalesce baseline (Kim et al. [38])."""
-        requesters = [first.src]
-        for msg in extra:
-            if msg.src not in requesters:
-                requesters.append(msg.src)
-        entry.sharers.update(requesters)
+        req_mask = 1 << first_src
+        for src in extra_srcs:
+            req_mask |= 1 << src
+        entry.sharers_mask |= req_mask
+        requesters = _mask_tiles(req_mask)
         version = self.versions.get(entry.line_addr, 0)
-        self._send(CoherenceMsg(
+        self._send(make_msg(
             MsgType.DATA_S, entry.line_addr, self.tile,
-            tuple(sorted(requesters)), requester=first.src,
+            tuple(requesters), requester=first_src,
             payload=version))
         if len(requesters) > 1:
             self.stats.inc("coalesced_multicasts")
@@ -331,13 +418,16 @@ class LLCSlice:
     # the push trigger (paper §III-B)
     # ------------------------------------------------------------------
 
-    def _trigger_push(self, entry: DirEntry, msg: CoherenceMsg) -> None:
-        requester = msg.src
-        excluded = self.pdrmap if self.push.dynamic_knob else set()
-        dests = sorted((entry.sharers - excluded) | {requester})
+    def _trigger_push(self, entry: DirEntry, requester: int) -> None:
+        dests_mask = entry.sharers_mask
+        if self.push.dynamic_knob:
+            for tile in self.pdrmap:
+                dests_mask &= ~(1 << tile)
+        dests_mask |= 1 << requester
+        dests = _mask_tiles(dests_mask)
         version = self.versions.get(entry.line_addr, 0)
         mode = self.push.mode
-        self.stats.inc("pushes_triggered")
+        self._c_pushes_triggered.value += 1
         self._push_degree_hist.record(len(dests))
         if self.push.network_filter and self.push.shadow_cycles > 0:
             self._push_shadow[entry.line_addr] = (
@@ -347,10 +437,10 @@ class LLCSlice:
         if mode == "msp":
             # MSP: a unicast response plus one unicast push per sharer —
             # no multicast packets, no filtering.
-            self._reply_data_s(entry, (requester,), msg)
+            self._reply_data_s(entry, (requester,))
             others = [dest for dest in dests if dest != requester]
             for dest in others:
-                self._send(CoherenceMsg(
+                self._send(make_msg(
                     MsgType.PUSH, entry.line_addr, self.tile, (dest,),
                     requester=requester, payload=version,
                     ack_required=True))
@@ -361,14 +451,14 @@ class LLCSlice:
 
         ack_required = mode == "pushack"
         if self.push.multicast:
-            self._send(CoherenceMsg(
+            self._send(make_msg(
                 MsgType.PUSH, entry.line_addr, self.tile, tuple(dests),
                 requester=requester, payload=version,
                 ack_required=ack_required,
                 reset_push_counters=self._reset_flag(requester)))
         else:
             for dest in dests:
-                self._send(CoherenceMsg(
+                self._send(make_msg(
                     MsgType.PUSH, entry.line_addr, self.tile, (dest,),
                     requester=requester, payload=version,
                     ack_required=ack_required))
@@ -380,29 +470,29 @@ class LLCSlice:
     # writes
     # ------------------------------------------------------------------
 
-    def _on_getm(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+    def _on_getm(self, entry: DirEntry, msg: CoherenceMsg) -> bool:
         requester = msg.src
         if entry.state is DirState.P:
             # Semi-blocking: writes wait for the push acknowledgments.
             entry.queue.append(msg)
-            self.stats.inc("getm_blocked_on_push")
-            return
+            self._c_getm_blocked.value += 1
+            return True
         if entry.state is DirState.I or (entry.state is DirState.EM
                                          and entry.owner == requester):
             self._grant_modified(entry, requester)
-            return
+            return False
         version = self._bump_version(entry.line_addr)
         if entry.state is DirState.EM:
-            targets = {entry.owner}
+            targets_mask = 1 << entry.owner
         else:
-            targets = set(entry.sharers) - {requester}
-        if not targets:
+            targets_mask = entry.sharers_mask & ~(1 << requester)
+        if not targets_mask:
             self._grant_modified(entry, requester, version)
-            return
+            return False
         entry.busy = True
-        entry.awaiting = set(targets)
-        for target in sorted(targets):
-            self._send(CoherenceMsg(
+        entry.awaiting_mask = targets_mask
+        for target in _mask_tiles(targets_mask):
+            self._send(make_msg(
                 MsgType.INV, entry.line_addr, self.tile, (target,),
                 requester=requester, payload=version))
 
@@ -410,6 +500,7 @@ class LLCSlice:
             self._grant_modified(entry, requester, version)
 
         entry.pending_grant = grant
+        return False
 
     def _grant_modified(self, entry: DirEntry, requester: int,
                         version: Optional[int] = None) -> None:
@@ -417,11 +508,11 @@ class LLCSlice:
             version = self._bump_version(entry.line_addr)
         entry.state = DirState.EM
         entry.owner = requester
-        entry.sharers.clear()
+        entry.sharers_mask = 0
         entry.busy = True
-        entry.awaiting = {requester}
+        entry.awaiting_mask = 1 << requester
         entry.pending_grant = None
-        self._send(CoherenceMsg(
+        self._send(make_msg(
             MsgType.DATA_E, entry.line_addr, self.tile, (requester,),
             requester=requester, payload=version,
             reset_push_counters=self._reset_flag(requester)))
@@ -432,9 +523,9 @@ class LLCSlice:
                 self.versions.get(msg.line_addr, 0), msg.payload)
             entry.owner = None
             entry.state = DirState.I
-            self.stats.inc("writebacks_absorbed")
+            self._c_writebacks_absorbed.value += 1
         else:
-            self.stats.inc("stale_putm_ignored")
+            self._c_stale_putm_ignored.value += 1
 
     # ------------------------------------------------------------------
     # acknowledgments
@@ -443,7 +534,7 @@ class LLCSlice:
     def _on_ack(self, msg: CoherenceMsg) -> None:
         entry = self._dir.get(msg.line_addr)
         if entry is None:
-            self.stats.inc("orphan_acks")
+            self._c_orphan_acks.value += 1
             return
         if msg.msg_type is MsgType.PUSH_ACK:
             if entry.state is DirState.P:
@@ -455,21 +546,21 @@ class LLCSlice:
         self._collect_ack(entry, msg)
 
     def _collect_ack(self, entry: DirEntry, msg: CoherenceMsg) -> None:
-        if msg.src not in entry.awaiting:
-            self.stats.inc("orphan_acks")
+        bit = 1 << msg.src
+        if not entry.awaiting_mask & bit:
+            self._c_orphan_acks.value += 1
             return
-        entry.awaiting.discard(msg.src)
+        entry.awaiting_mask &= ~bit
         if msg.msg_type is MsgType.PUTM:
             self.versions[msg.line_addr] = max(
                 self.versions.get(msg.line_addr, 0), msg.payload)
-        if entry.sharers:
-            entry.sharers.discard(msg.src)
-        if not entry.awaiting:
+        entry.sharers_mask &= ~bit
+        if not entry.awaiting_mask:
             grant = entry.pending_grant
             entry.pending_grant = None
             if grant is not None:
                 grant()
-            if not entry.awaiting:
+            if not entry.awaiting_mask:
                 # The grant may itself have re-blocked the line (an
                 # exclusive grant awaits its UNBLOCK receipt ack).
                 self._drain(entry)
@@ -488,26 +579,29 @@ class LLCSlice:
         self._install_array_line(line_addr)
         queued, entry.queue = entry.queue, []
         for msg in queued:
-            self._process_resident(entry, msg)
+            if not self._process_resident(entry, msg):
+                recycle_msg(msg)
 
-    def _process_resident(self, entry: DirEntry, msg: CoherenceMsg) -> None:
+    def _process_resident(self, entry: DirEntry,
+                          msg: CoherenceMsg) -> bool:
         if entry.busy:
             if self._ack_like(entry, msg):
                 self._collect_ack(entry, msg)
-            else:
-                entry.queue.append(msg)
-        else:
-            self._dispatch(entry, msg)
+                return False
+            entry.queue.append(msg)
+            return True
+        return self._dispatch(entry, msg)
 
     def _install_array_line(self, line_addr: int) -> None:
-        if self.array.lookup(line_addr, touch=False) is not None:
+        if line_addr in self.array._slot_of:
             return
 
         def evictable(line: CacheLine) -> bool:
             victim = self._dir.get(line.line_addr)
             return (victim is None
                     or (not victim.busy and not victim.filling
-                        and not victim.sharers and victim.owner is None))
+                        and not victim.sharers_mask
+                        and victim.owner is None))
 
         try:
             victim = self.array.evict_victim(line_addr, evictable)
@@ -520,8 +614,8 @@ class LLCSlice:
                 return
         if victim is not None:
             self._dir.pop(victim.line_addr, None)
-            self.stats.inc("llc_evictions")
-        self.array.install(CacheLine(line_addr, DirState.S))
+            self._c_llc_evictions.value += 1
+        self.array.install_flat(line_addr, _DIR_S)
 
     def _back_invalidate(self, line_addr: int) -> Optional[CacheLine]:
         """Evict a line still cached above: fire-and-forget INVs.
@@ -547,11 +641,11 @@ class LLCSlice:
         entry = self._dir.get(victim.line_addr)
         if entry is not None:
             version = self._bump_version(victim.line_addr)
-            targets = set(entry.sharers)
+            targets_mask = entry.sharers_mask
             if entry.owner is not None:
-                targets.add(entry.owner)
-            for target in sorted(targets):
-                self._send(CoherenceMsg(
+                targets_mask |= 1 << entry.owner
+            for target in _mask_tiles(targets_mask):
+                self._send(make_msg(
                     MsgType.INV, victim.line_addr, self.tile, (target,),
                     requester=self.tile, payload=version))
             self.stats.inc("llc_back_invalidations")

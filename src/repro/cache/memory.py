@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.common.errors import ProtocolError
-from repro.common.messages import CoherenceMsg, MsgType
+from repro.common.messages import (CoherenceMsg, MsgType, make_msg,
+                                   recycle_msg)
 from repro.common.params import MemoryParams
 from repro.common.scheduler import Scheduler
 from repro.common.stats import StatGroup
@@ -39,6 +40,7 @@ class MemoryController:
         if msg.msg_type is MsgType.MEM_WB:
             self.stats.inc("writebacks")
             self._occupy_slot()
+            recycle_msg(msg)
             return
         if msg.msg_type is not MsgType.MEM_READ:
             raise ProtocolError(f"memory controller cannot handle {msg}")
@@ -46,9 +48,10 @@ class MemoryController:
         start = self._occupy_slot()
         finish = int(start) + self.params.latency
         requester = msg.requester if msg.requester is not None else msg.src
-        reply = CoherenceMsg(
+        reply = make_msg(
             MsgType.MEM_DATA, msg.line_addr, self.tile, (requester,),
             requester=requester)
+        recycle_msg(msg)
         self.scheduler.at(finish, lambda: self._send(reply))
 
     def _occupy_slot(self) -> float:

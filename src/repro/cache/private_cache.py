@@ -20,6 +20,12 @@ The module also enforces the data-value invariant at install time: a
 line installed with a payload version older than the newest invalidation
 seen for that address indicates a protocol bug and raises
 :class:`~repro.common.errors.ProtocolError`.
+
+The controller runs on the slot-level SRAM API (see
+:mod:`repro.cache.sram`): lookups are a single dict probe, states and
+status flags are small-int reads, and the ``access`` fast path inlines
+the recency-stamp bump directly (both arrays use the default folded-LRU
+policy, which is what makes the inline bump legal).
 """
 
 from __future__ import annotations
@@ -29,13 +35,15 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.common.addr import line_of
 from repro.common.errors import ProtocolError
-from repro.common.messages import CoherenceMsg, MsgType, TrafficClass
+from repro.common.messages import (CoherenceMsg, MsgType, TrafficClass,
+                                   make_msg, recycle_msg)
 from repro.common.params import SystemParams
 from repro.common.scheduler import Scheduler
 from repro.common.stats import StatGroup
-from repro.cache.coherence import PrivState, writable
+from repro.cache.coherence import PRIV_E, PRIV_M, PRIV_S
 from repro.cache.mshr import MSHRFile
-from repro.cache.sram import CacheArray, CacheLine
+from repro.cache.sram import (CacheArray, F_ACCESSED, F_BLOCKED, F_DIRTY,
+                              F_PREFETCHED, F_PUSHED)
 
 #: cycles to wait before retrying when the MSHR file is full
 _MSHR_RETRY_CYCLES = 4
@@ -55,13 +63,35 @@ class PrivateCache:
         self._send_msg = send
         self._home_of = home_of
         self._data_flits = params.noc.data_packet_flits
+        self._l1_hit_cycles = params.core.l1_hit_cycles
+        self._l2_hit_latency = params.l2.hit_latency
         self.l1 = CacheArray(params.l1)
         self.l2 = CacheArray(params.l2)
+        # Bound slot probes (the dicts are created once and mutated in
+        # place, so the bound methods stay valid for the cache lifetime).
+        self._l1_slot_get = self.l1._slot_of.get
+        self._l2_slot_get = self.l2._slot_of.get
         self.mshrs = MSHRFile(params.l2.mshrs)
         self.stats = stats if stats is not None else StatGroup(f"l2_{tile}")
         # Bound hot-path stat cells (skip the per-event dict probe).
-        self._c_demand_accesses = self.stats.counter("demand_accesses")
-        self._c_ejected_msgs = self.stats.counter("ejected_msgs")
+        counter = self.stats.counter
+        self._c_demand_accesses = counter("demand_accesses")
+        self._c_demand_misses = counter("demand_misses")
+        self._c_upgrade_misses = counter("upgrade_misses")
+        self._c_l1_hits = counter("l1_hits")
+        self._c_l2_hits = counter("l2_hits")
+        self._c_push_miss_to_hit = counter("push_miss_to_hit")
+        self._c_push_early_resp = counter("push_early_resp")
+        self._c_push_redundancy_drop = counter("push_redundancy_drop")
+        self._c_push_coherence_drop = counter("push_coherence_drop")
+        self._c_push_deadlock_drop = counter("push_deadlock_drop")
+        self._c_push_installed = counter("push_installed")
+        self._c_push_unused = counter("push_unused")
+        self._c_mshr_merges = counter("mshr_merges")
+        self._c_mshr_stalls = counter("mshr_stalls")
+        self._c_writebacks = counter("writebacks")
+        self._c_evictions = counter("evictions")
+        self._c_ejected_msgs = counter("ejected_msgs")
         inject = self.stats.child("inject")
         eject = self.stats.child("eject")
         self._c_inject = {cls: inject.counter(cls.name)
@@ -109,48 +139,85 @@ class PrivateCache:
             if self.prefetcher is not None:
                 self.prefetcher.observe(byte_addr, pc, is_write)
 
-        l1_line = self.l1.lookup(line_addr)
-        l2_line = self.l2.lookup(line_addr)
-        if l1_line is not None and l2_line is None:
+        # Inlined probe + LRU touch (both arrays use the folded policy).
+        l1 = self.l1
+        l2 = self.l2
+        l1_slot = self._l1_slot_get(line_addr, -1)
+        if l1_slot >= 0:
+            l1._stamp = stamp = l1._stamp + 1
+            l1._stamps[l1_slot] = stamp
+        l2_slot = self._l2_slot_get(line_addr, -1)
+        if l2_slot >= 0:
+            l2._stamp = stamp = l2._stamp + 1
+            l2._stamps[l2_slot] = stamp
+            # writable = E or M (any PrivState but S)
+            if not is_write or l2._state[l2_slot] != PRIV_S:
+                self._hit(line_addr, l1_slot >= 0, l2_slot, is_write,
+                          on_complete, is_prefetch)
+                return
+        elif l1_slot >= 0:
             raise ProtocolError("L1 holds a line absent from the L2")
 
-        if l2_line is not None and (not is_write or writable(l2_line.state)):
-            self._hit(line_addr, l1_line, l2_line, is_write,
-                      on_complete, is_prefetch)
+        if not is_prefetch:
+            if l2_slot < 0:
+                self._c_demand_misses.value += 1
+            else:
+                self._c_upgrade_misses.value += 1
+        self._miss(line_addr, is_write, on_complete, is_prefetch, l2_slot)
+
+    def prefetch_access(self, byte_addr: int) -> None:
+        """Prefetch entry point: ``access`` minus everything a prefetch
+        skips (demand counters, prefetcher training, hit completion).
+
+        A prefetch is a read with no completion callback, so a hit
+        reduces to the recency-stamp bumps — semantically identical to
+        routing it through :meth:`access` with ``is_prefetch=True``, at
+        a fraction of the cost on the ~hit-every-time steady state.
+        """
+        line_addr = byte_addr // 64
+        l1_slot = self._l1_slot_get(line_addr, -1)
+        if l1_slot >= 0:
+            l1 = self.l1
+            l1._stamp = stamp = l1._stamp + 1
+            l1._stamps[l1_slot] = stamp
+        l2_slot = self._l2_slot_get(line_addr, -1)
+        if l2_slot >= 0:
+            l2 = self.l2
+            l2._stamp = stamp = l2._stamp + 1
+            l2._stamps[l2_slot] = stamp
             return
+        if l1_slot >= 0:
+            raise ProtocolError("L1 holds a line absent from the L2")
+        self._miss(line_addr, False, None, True, -1)
 
-        if not is_prefetch:
-            self.stats.inc("demand_misses"
-                           if l2_line is None else "upgrade_misses")
-        self._miss(line_addr, is_write, on_complete, is_prefetch, l2_line)
-
-    def _hit(self, line_addr: int, l1_line: Optional[CacheLine],
-             l2_line: CacheLine, is_write: bool,
-             on_complete: Optional[Callable[[], None]],
+    def _hit(self, line_addr: int, l1_hit: bool, l2_slot: int,
+             is_write: bool, on_complete: Optional[Callable[[], None]],
              is_prefetch: bool) -> None:
-        latency = (self.params.core.l1_hit_cycles if l1_line is not None
-                   else self.params.l2.hit_latency)
+        l2 = self.l2
+        latency = self._l1_hit_cycles if l1_hit else self._l2_hit_latency
         if not is_prefetch:
-            self.stats.inc("l1_hits" if l1_line is not None else "l2_hits")
-            self._note_push_use(l2_line)
-            if l1_line is None:
+            if l1_hit:
+                self._c_l1_hits.value += 1
+            else:
+                self._c_l2_hits.value += 1
+            # First demand touch of a pushed line: the Miss-to-Hit case.
+            flags = l2._flags[l2_slot]
+            if flags & F_PUSHED and not flags & F_ACCESSED:
+                self._c_push_miss_to_hit.value += 1
+                self._count_useful_push()
+            l2._flags[l2_slot] = flags | F_ACCESSED
+            if not l1_hit:
                 self._fill_l1(line_addr)
         if is_write:
-            l2_line.state = PrivState.M
-            l2_line.dirty = True
+            l2._state[l2_slot] = PRIV_M
+            l2._flags[l2_slot] |= F_DIRTY
         if on_complete is not None:
-            self.scheduler.after(latency, on_complete)
-
-    def _note_push_use(self, line: CacheLine) -> None:
-        """First demand touch of a pushed line: the Miss-to-Hit case."""
-        if line.pushed and not line.accessed:
-            self.stats.inc("push_miss_to_hit")
-            self._count_useful_push()
-        line.accessed = True
+            scheduler = self.scheduler
+            scheduler.at(scheduler.now + latency, on_complete)
 
     def _miss(self, line_addr: int, is_write: bool,
               on_complete: Optional[Callable[[], None]],
-              is_prefetch: bool, resident: Optional[CacheLine]) -> None:
+              is_prefetch: bool, resident_slot: int) -> None:
         mshr = self.mshrs.get(line_addr)
         if mshr is not None:
             if is_write and mshr.req_type is MsgType.GETS:
@@ -160,10 +227,10 @@ class PrivateCache:
                     line_addr * 64, True, on_complete, is_prefetch))
             elif on_complete is not None:
                 mshr.add_waiter(on_complete)
-            self.stats.inc("mshr_merges")
+            self._c_mshr_merges.value += 1
             return
         if self.mshrs.full:
-            self.stats.inc("mshr_stalls")
+            self._c_mshr_stalls.value += 1
             if is_prefetch:
                 # Prefetches are best-effort: drop on structural hazard.
                 self.stats.inc("prefetches_dropped")
@@ -176,11 +243,11 @@ class PrivateCache:
                                    is_prefetch)
         if on_complete is not None:
             mshr.add_waiter(on_complete)
-        if is_write and resident is not None:
+        if is_write and resident_slot >= 0:
             # Upgrade: the S copy stays resident and pinned until DATA_E.
-            resident.blocked = True
+            self.l2._flags[resident_slot] |= F_BLOCKED
             mshr.had_line_in_s = True
-        self._send(CoherenceMsg(
+        self._send(make_msg(
             req_type, line_addr, self.tile, (self._home_of(line_addr),),
             requester=self.tile, need_push=self._need_push(),
             is_prefetch=is_prefetch))
@@ -199,6 +266,11 @@ class PrivateCache:
             raise ProtocolError(
                 f"private cache {self.tile} cannot handle {msg}")
         handler(msg)
+        # The private cache is a terminal sink: every handler consumes
+        # the message synchronously (responses fill, pushes install or
+        # drop, invalidations ack), so this delivery's share of the
+        # message can be recycled here.
+        recycle_msg(msg)
 
     def _on_wb_ack(self, msg: CoherenceMsg) -> None:
         pass  # writeback acknowledged; nothing left to do
@@ -222,7 +294,7 @@ class PrivateCache:
             if msg.msg_type is MsgType.DATA_E:
                 # Unreachable by construction (E grants are serialized
                 # by UNBLOCK), but never leave the directory blocked.
-                self._send(CoherenceMsg(
+                self._send(make_msg(
                     MsgType.UNBLOCK, msg.line_addr, self.tile,
                     (msg.src,), requester=self.tile))
             self.stats.inc("stale_responses_dropped")
@@ -236,23 +308,25 @@ class PrivateCache:
         line_addr = msg.line_addr
         # The directory holds the line blocked until this receipt ack,
         # so a later write's invalidation can never overtake the grant.
-        self._send(CoherenceMsg(
+        self._send(make_msg(
             MsgType.UNBLOCK, line_addr, self.tile, (msg.src,),
             requester=self.tile))
         is_write = mshr.req_type is MsgType.GETM
-        state = PrivState.M if is_write else PrivState.E
+        state_code = PRIV_M if is_write else PRIV_E
         if mshr.had_line_in_s:
-            line = self.l2.lookup(line_addr, touch=True)
-            if line is None:
+            l2 = self.l2
+            slot = l2._slot_of.get(line_addr, -1)
+            if slot < 0:
                 raise ProtocolError("upgrade completed but S copy vanished")
-            line.state = state
-            line.blocked = False
-            line.payload = msg.payload
-            line.dirty = is_write
+            l2.touch_slot(slot)
+            l2._state[slot] = state_code
+            l2._payload[slot] = msg.payload
+            flags = l2._flags[slot] & (0xFF ^ (F_BLOCKED | F_DIRTY))
+            l2._flags[slot] = flags | (F_DIRTY if is_write else 0)
         else:
-            self._install_l2(line_addr, state, msg.payload,
-                             dirty=is_write, pushed=False,
-                             prefetched=mshr.is_prefetch)
+            self._install_l2(line_addr, state_code, msg.payload,
+                             (F_DIRTY if is_write else 0)
+                             | (F_PREFETCHED if mshr.is_prefetch else 0))
             if not mshr.is_prefetch:
                 self._fill_l1(line_addr)
         self._finish_mshr(msg.line_addr)
@@ -266,9 +340,9 @@ class PrivateCache:
             self._inv_pending.discard(line_addr)
             self.stats.inc("inv_raced_fills")
         else:
-            self._install_l2(line_addr, PrivState.S, msg.payload,
-                             dirty=False, pushed=pushed,
-                             prefetched=mshr.is_prefetch)
+            self._install_l2(line_addr, PRIV_S, msg.payload,
+                             (F_PUSHED if pushed else 0)
+                             | (F_PREFETCHED if mshr.is_prefetch else 0))
             if not mshr.is_prefetch:
                 self._fill_l1(line_addr)
         self._finish_mshr(line_addr)
@@ -278,6 +352,7 @@ class PrivateCache:
         latency = self.scheduler.now - mshr.issued_at
         self._miss_latency_hist.record(latency)
         mshr.complete()
+        self.mshrs.recycle(mshr)
         if self._mshr_waiters and not self.mshrs.full:
             stalled_line, is_write, on_complete = (
                 self._mshr_waiters.popleft())
@@ -289,35 +364,33 @@ class PrivateCache:
         """Speculative pushed data (paper §III-B drop rules + Fig. 12)."""
         self._count_received_push()
         if msg.ack_required:
-            self._send(CoherenceMsg(
+            self._send(make_msg(
                 MsgType.PUSH_ACK, msg.line_addr, self.tile, (msg.src,),
                 requester=self.tile))
         line_addr = msg.line_addr
         mshr = self.mshrs.get(line_addr)
         if mshr is not None:
             if mshr.req_type is MsgType.GETM:
-                self.stats.inc("push_coherence_drop")
+                self._c_push_coherence_drop.value += 1
                 return
-            self.stats.inc("push_early_resp")
+            self._c_push_early_resp.value += 1
             self._count_useful_push()
             self._complete_shared(msg, mshr, pushed=True)
             return
-        if self.l2.lookup(line_addr, touch=False) is not None:
-            self.stats.inc("push_redundancy_drop")
+        if line_addr in self.l2._slot_of:
+            self._c_push_redundancy_drop.value += 1
             return
         if msg.payload < self._last_inv_version.get(line_addr, 0):
             # A stale push that lost a race with an invalidation must not
             # install (data-value invariant); with PushAck/OrdPush
             # serialization this path is unreachable.
-            self.stats.inc("push_coherence_drop")
+            self._c_push_coherence_drop.value += 1
             return
-        if not self._make_room(line_addr, for_push=True):
-            self.stats.inc("push_deadlock_drop")
+        if not self._make_room(line_addr):
+            self._c_push_deadlock_drop.value += 1
             return
-        line = CacheLine(line_addr, PrivState.S, msg.payload)
-        line.pushed = True
-        self.l2.install(line)
-        self.stats.inc("push_installed")
+        self.l2.install_flat(line_addr, PRIV_S, msg.payload, F_PUSHED)
+        self._c_push_installed.value += 1
 
     # -- invalidations / downgrades -----------------------------------------
 
@@ -328,44 +401,48 @@ class PrivateCache:
         mshr = self.mshrs.get(line_addr)
         if mshr is not None and mshr.req_type is MsgType.GETS:
             self._inv_pending.add(line_addr)
-        line = self.l2.lookup(line_addr, touch=False)
-        if line is not None:
+        l2 = self.l2
+        slot = l2._slot_of.get(line_addr, -1)
+        if slot >= 0:
+            flags = l2._flags[slot]
+            payload = l2._payload[slot]
+            l2.clear_slot(slot)
+            l1_slot = self.l1._slot_of.get(line_addr, -1)
+            if l1_slot >= 0:
+                self.l1.clear_slot(l1_slot)
+            self._note_dropped(flags)
             if mshr is not None and mshr.had_line_in_s:
                 # Upgrade race: our S copy dies but the GETM stays queued
                 # at the directory and will be granted with fresh data.
-                line.blocked = False
                 mshr.had_line_in_s = False
-                self._drop_line(line)
-            else:
-                was_dirty = line.dirty
-                self._drop_line(line)
-                if was_dirty:
-                    self._send(CoherenceMsg(
-                        MsgType.PUTM, line_addr, self.tile, (msg.src,),
-                        requester=self.tile, payload=line.payload))
-                    return
-        self._send(CoherenceMsg(
+            elif flags & F_DIRTY:
+                self._send(make_msg(
+                    MsgType.PUTM, line_addr, self.tile, (msg.src,),
+                    requester=self.tile, payload=payload))
+                return
+        self._send(make_msg(
             MsgType.INV_ACK, line_addr, self.tile, (msg.src,),
             requester=self.tile))
 
     def _on_downgrade(self, msg: CoherenceMsg) -> None:
         line_addr = msg.line_addr
-        line = self.l2.lookup(line_addr, touch=False)
-        if line is None or line.state is PrivState.S:
+        l2 = self.l2
+        slot = l2._slot_of.get(line_addr, -1)
+        if slot < 0 or l2._state[slot] == PRIV_S:
             # Silently evicted (or already shared): clean acknowledgment.
-            self._send(CoherenceMsg(
+            self._send(make_msg(
                 MsgType.INV_ACK, line_addr, self.tile, (msg.src,),
                 requester=self.tile))
             return
-        was_dirty = line.dirty
-        line.state = PrivState.S
-        line.dirty = False
-        if was_dirty:
-            self._send(CoherenceMsg(
+        flags = l2._flags[slot]
+        l2._state[slot] = PRIV_S
+        l2._flags[slot] = flags & (0xFF ^ F_DIRTY)
+        if flags & F_DIRTY:
+            self._send(make_msg(
                 MsgType.PUTM, line_addr, self.tile, (msg.src,),
-                requester=self.tile, payload=line.payload))
+                requester=self.tile, payload=l2._payload[slot]))
         else:
-            self._send(CoherenceMsg(
+            self._send(make_msg(
                 MsgType.INV_ACK, line_addr, self.tile, (msg.src,),
                 requester=self.tile))
 
@@ -373,56 +450,52 @@ class PrivateCache:
     # array management
     # ------------------------------------------------------------------
 
-    def _install_l2(self, line_addr: int, state: PrivState, payload: int,
-                    dirty: bool, pushed: bool, prefetched: bool) -> None:
+    def _install_l2(self, line_addr: int, state_code: int, payload: int,
+                    flags: int) -> None:
         if payload < self._last_inv_version.get(line_addr, 0):
             raise ProtocolError(
                 f"data-value invariant violated at tile {self.tile}: "
                 f"line 0x{line_addr:x} installs version {payload} after "
                 f"invalidation {self._last_inv_version[line_addr]}")
-        if not self._make_room(line_addr, for_push=False):
+        if not self._make_room(line_addr):
             # Every way pinned by in-flight upgrades: skip the install
             # (the LLC retains the line) rather than risk a deadlock.
             self.stats.inc("fills_skipped_set_blocked")
             return
-        line = CacheLine(line_addr, state, payload)
-        line.dirty = dirty
-        line.pushed = pushed
-        line.prefetched = prefetched
-        self.l2.install(line)
+        self.l2.install_flat(line_addr, state_code, payload, flags)
 
-    def _make_room(self, line_addr: int, for_push: bool) -> bool:
+    def _make_room(self, line_addr: int) -> bool:
         """Free a way in the line's L2 set; False if impossible."""
         try:
-            victim = self.l2.evict_victim(line_addr, skip_blocked=True)
+            victim = self.l2.evict_flat(line_addr, skip_blocked=True)
         except LookupError:
             return False
         if victim is not None:
-            self._drop_line(victim, evicted=True)
-            if victim.dirty:
-                self.stats.inc("writebacks")
-                self._send(CoherenceMsg(
-                    MsgType.PUTM, victim.line_addr, self.tile,
-                    (self._home_of(victim.line_addr),),
-                    requester=self.tile, payload=victim.payload))
+            addr, _state, payload, flags = victim
+            l1_slot = self.l1._slot_of.get(addr, -1)
+            if l1_slot >= 0:
+                self.l1.clear_slot(l1_slot)
+            self._note_dropped(flags)
+            self._c_evictions.value += 1
+            if flags & F_DIRTY:
+                self._c_writebacks.value += 1
+                self._send(make_msg(
+                    MsgType.PUTM, addr, self.tile,
+                    (self._home_of(addr),),
+                    requester=self.tile, payload=payload))
         return True
 
-    def _drop_line(self, line: CacheLine, evicted: bool = False) -> None:
-        """Bookkeeping common to eviction and invalidation."""
-        self.l2.remove(line.line_addr)
-        self.l1.remove(line.line_addr)
-        if line.pushed and not line.accessed:
-            self.stats.inc("push_unused")
-        if evicted:
-            self.stats.inc("evictions")
+    def _note_dropped(self, flags: int) -> None:
+        """Push-usage bookkeeping when a line leaves the L2."""
+        if flags & F_PUSHED and not flags & F_ACCESSED:
+            self._c_push_unused.value += 1
 
     def _fill_l1(self, line_addr: int) -> None:
-        if self.l1.lookup(line_addr, touch=False) is not None:
+        l1 = self.l1
+        if line_addr in l1._slot_of:
             return
-        victim = self.l1.evict_victim(line_addr)
-        if victim is not None:
-            pass  # L1 is write-through: evictions are always silent
-        self.l1.install(CacheLine(line_addr, PrivState.S))
+        l1.evict_flat(line_addr)  # L1 is write-through: silent eviction
+        l1.install_flat(line_addr, PRIV_S)
 
     # ------------------------------------------------------------------
     # pause knob (paper §III-D)

@@ -10,6 +10,11 @@ a compute gap (``work`` cycles) has not yet elapsed.
 Barriers implement the OpenMP join at the end of parallel loops: a core
 drains its outstanding operations, arrives, and resumes when every core
 has arrived.
+
+A core accepts either a live record iterable or a precompiled
+:class:`~repro.cpu.tracebuf.TraceBuffer`; the buffer path replays the
+same issue/stall/barrier decisions from an integer cursor over the flat
+columns without touching a record object per access.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Callable, Iterable, Iterator, List, Optional
 
 from repro.common.scheduler import Scheduler
 from repro.common.stats import StatGroup
+from repro.cpu.tracebuf import TraceBuffer
 from repro.cpu.traces import BARRIER, MemAccess, TraceRecord
 
 
@@ -55,7 +61,18 @@ class Core:
         self.barrier = barrier
         self.on_finished = on_finished
         self.stats = stats if stats is not None else StatGroup(f"core{tile}")
-        self._trace: Iterator[TraceRecord] = iter(trace)
+        if isinstance(trace, TraceBuffer):
+            self._buf: Optional[TraceBuffer] = trace
+            self._cursor = 0
+            self._loaded = False
+            self._trace: Iterator[TraceRecord] = iter(())
+            # Instance attribute shadows the method: the scheduler and
+            # the barrier both invoke self._step, so binding here routes
+            # every wakeup through the cursor path.
+            self._step = self._step_buffered
+        else:
+            self._buf = None
+            self._trace = iter(trace)
         self._pending: Optional[TraceRecord] = None
         self._outstanding = 0
         self._ready_cycle = 0
@@ -108,6 +125,58 @@ class Core:
                 self._c_window_stalls.value += 1
                 return  # a completion will re-step us
             self._issue(record)
+
+    def _step_buffered(self) -> None:
+        """The cursor-driven twin of :meth:`_step` for trace buffers.
+
+        Replays the scalar path's decisions exactly: the compute gap is
+        latched when a row is first considered (``_loaded``), barriers
+        wait for the window to drain, and the issue order is unchanged.
+        """
+        self._step_scheduled = False
+        if self.finished or self._at_barrier:
+            return
+        buf = self._buf
+        addr_col = buf.addr
+        work_col = buf.work
+        n = len(addr_col)
+        max_outstanding = self.params.max_outstanding
+        scheduler = self.scheduler
+        while True:
+            i = self._cursor
+            if i >= n:
+                if self._outstanding == 0:
+                    self._finish()
+                return
+            addr = addr_col[i]
+            if addr < 0:  # barrier sentinel row
+                if self._outstanding > 0:
+                    return  # drain first; completions re-step us
+                self._cursor = i + 1
+                self._at_barrier = True
+                self.stats.inc("barriers")
+                self.barrier.arrive(self)
+                return
+            if not self._loaded:
+                # The compute gap runs from the previous issue.
+                self._loaded = True
+                self._ready_cycle = self._last_issue + work_col[i]
+            now = scheduler.now
+            if now < self._ready_cycle:
+                self._schedule_step(self._ready_cycle - now)
+                return
+            if self._outstanding >= max_outstanding:
+                self._c_window_stalls.value += 1
+                return  # a completion will re-step us
+            self._cursor = i + 1
+            self._loaded = False
+            self._outstanding += 1
+            insts = buf.insts[i]
+            self.instructions += insts if insts > 0 else work_col[i] + 1
+            self._c_accesses.value += 1
+            self._last_issue = now
+            self.cache.access(addr, bool(buf.is_write[i]),
+                              self._on_complete, pc=buf.pc[i])
 
     @property
     def _trace_exhausted(self) -> bool:

@@ -26,7 +26,7 @@ from bisect import insort
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import SimulationError
-from repro.common.messages import CoherenceMsg, TrafficClass
+from repro.common.messages import CoherenceMsg, TrafficClass, recycle_msg
 from repro.common.params import NoCParams
 from repro.common.scheduler import NEVER, Scheduler
 from repro.common.stats import StatGroup
@@ -290,6 +290,9 @@ class Network:
         self._c_requests_filtered.value += 1
         if self.request_filtered_hook is not None:
             self.request_filtered_hook(packet.msg)
+        # The filter is this request's terminal sink: it never reaches
+        # the LLC, so its message is consumed here.
+        recycle_msg(packet.msg)
 
     def mark_router_active(self, router: Router) -> None:
         # Called from the event phase (an accept); the new packet leaves

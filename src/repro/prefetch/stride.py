@@ -36,9 +36,8 @@ class StridePrefetcher:
         """Train on a demand access; returns lines to prefetch."""
         stream = self._streams.get(pc)
         if stream is None:
-            stream = _Stream(line_addr)
-            self._streams[pc] = stream
-            self._streams.move_to_end(pc)
+            # A fresh insert already lands at the recency end.
+            self._streams[pc] = _Stream(line_addr)
             if len(self._streams) > self.max_streams:
                 self._streams.popitem(last=False)
             return []

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.common.addr import byte_of, line_of
-from repro.common.params import PrefetchParams
+from repro.common.params import LINE_BYTES, PrefetchParams
 from repro.common.stats import StatGroup
 from repro.prefetch.bingo import BingoPrefetcher
 from repro.prefetch.stride import StridePrefetcher
@@ -33,22 +32,30 @@ class PrefetchUnit:
         self.stride = StridePrefetcher(params.stride_streams,
                                        params.stride_degree)
         self.stats = stats if stats is not None else StatGroup("prefetch")
+        self._enabled = params.enabled
+        self._c_prefetches_issued = self.stats.counter("prefetches_issued")
 
     def observe(self, byte_addr: int, pc: int, is_write: bool) -> None:
         """Train both prefetchers on a demand access and issue."""
-        if not self.params.enabled or is_write:
+        if is_write or not self._enabled:
             return
-        line_addr = line_of(byte_addr)
+        line_addr = byte_addr // LINE_BYTES
         candidates = self.bingo.observe(line_addr, pc)
-        candidates += self.stride.observe(line_addr, pc)
+        stride = self.stride.observe(line_addr, pc)
+        if stride:
+            candidates += stride
+        if not candidates:
+            return
+        issue = self._issue
+        counter = self._c_prefetches_issued
         issued = 0
         seen = set()
         for line in candidates:
             if line in seen or line == line_addr:
                 continue
             seen.add(line)
-            self._issue(byte_of(line))
-            self.stats.inc("prefetches_issued")
+            issue(line * LINE_BYTES)
+            counter.value += 1
             issued += 1
             if issued >= _MAX_ISSUE_PER_ACCESS:
                 break

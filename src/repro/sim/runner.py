@@ -82,13 +82,16 @@ def run_workload(workload: str, config: str = "baseline",
 
     Keyword arguments are split automatically: those understood by
     :func:`make_params` configure the hardware; the rest size the
-    workload generator.
+    workload generator.  Traces are compiled through the trace-buffer
+    cache, so repeat runs of the same ``(workload, num_cores, seed,
+    sizes)`` point — e.g. a configuration sweep — reuse one compiled
+    trace.
     """
-    from repro.workloads.registry import build_traces
+    from repro.workloads.registry import build_trace_buffers
 
     params, wl_kwargs = resolve_point(workload, config, num_cores, **kwargs)
-    traces = build_traces(workload, num_cores=num_cores, seed=seed,
-                          **wl_kwargs)
+    traces = build_trace_buffers(workload, num_cores=num_cores, seed=seed,
+                                 **wl_kwargs)
     return run_system(params, traces, workload=workload, config=config,
                       max_cycles=max_cycles)
 

@@ -39,6 +39,7 @@ order.  Duplicate points in one sweep are simulated once.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import os
@@ -53,8 +54,11 @@ from repro.sim.results import SimResult
 #: Bump when simulator behavior changes in any result-visible way; every
 #: previously cached entry becomes unreachable (a miss) under the new
 #: version.  2: pluggable topologies (params gained topology fields and
-#: results may carry a topology tag).
-CACHE_SCHEMA_VERSION = 2
+#: results may carry a topology tag).  3: precompiled trace buffers
+#: drive the cores and the coherence layer pools messages/MSHRs — the
+#: results are bit-identical by construction, but the trace compiler is
+#: now part of the contract the cache key must cover.
+CACHE_SCHEMA_VERSION = 3
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -192,9 +196,25 @@ def _resolve_cache(cache) -> Optional[ResultCache]:
     return cache
 
 
+def _init_worker() -> None:
+    """Pool initializer: park the cyclic GC for the worker's lifetime.
+
+    Simulation objects die by refcount (see ``System.run``, which parks
+    the collector per run), so a worker that simulates many points
+    would otherwise re-pay collection churn between runs.  Freezing the
+    post-import heap also takes every long-lived object out of the
+    collector's view entirely.
+    """
+    gc.disable()
+    gc.freeze()
+
+
 def _execute_point(point: SweepPoint) -> Dict:
     """Worker entry: simulate one point, return a picklable dict."""
     from repro.sim.runner import run_workload
+
+    if os.environ.get("REPRO_ASSERT_GC_PARKED"):
+        assert not gc.isenabled(), "sweep worker GC was not parked"
 
     result = run_workload(point.workload, point.config,
                           num_cores=point.num_cores,
@@ -248,7 +268,8 @@ def run_sweep(points: Sequence[Union[SweepPoint, dict]],
 
     if pending:
         if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     initializer=_init_worker) as pool:
                 dicts = list(pool.map(
                     _execute_point, [p for _, p in pending]))
         else:

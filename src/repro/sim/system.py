@@ -93,8 +93,7 @@ class System:
             if params.prefetch.enabled:
                 cache.prefetcher = PrefetchUnit(
                     params.prefetch,
-                    issue=lambda byte_addr, c=cache: c.access(
-                        byte_addr, False, None, is_prefetch=True),
+                    issue=cache.prefetch_access,
                     stats=self.stats.child(f"prefetch_{tile}"))
         for tile in self._mem_tiles:
             self.memories[tile] = MemoryController(

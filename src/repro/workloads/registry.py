@@ -1,9 +1,15 @@
 """Workload catalogue: Table II names mapped to trace builders.
 
-``build_traces(name, num_cores, seed, **sizes)`` is the single entry
-point used by the run harness; ``WORKLOADS`` carries the metadata the
-benchmarks and documentation consume (paper input, sharing profile,
-suggested outstanding-miss window for dependence-limited codes).
+``build_traces(name, num_cores, seed, **sizes)`` is the raw entry point
+(live per-core generators); ``build_trace_buffers`` is what the run
+harness uses — it materializes the generators once per
+``(workload, num_cores, seed, sizes)`` into flat
+:class:`~repro.cpu.tracebuf.TraceBuffer` columns and shares them
+through the content-addressed trace cache, so a sweep compiles each
+point's trace exactly once across all its configurations.
+``WORKLOADS`` carries the metadata the benchmarks and documentation
+consume (paper input, sharing profile, suggested outstanding-miss
+window for dependence-limited codes).
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
+from repro.cpu.tracebuf import TraceBuffer, TraceCache, trace_key
 from repro.workloads import (
     backprop,
     bfs,
@@ -121,3 +128,27 @@ def build_traces(name: str, num_cores: int, seed: int = 1,
 def suggested_window(name: str) -> Optional[int]:
     definition = WORKLOADS.get(name)
     return definition.suggested_window if definition else None
+
+
+#: process-wide trace store shared by every run in this interpreter
+TRACE_CACHE = TraceCache()
+
+
+def build_trace_buffers(name: str, num_cores: int, seed: int = 1,
+                        cache: Optional[TraceCache] = None,
+                        **sizes) -> List[TraceBuffer]:
+    """Compiled per-core trace buffers for a catalogued workload.
+
+    Buffers are immutable and content-addressed, so repeat calls for
+    the same point (any number of hardware configurations) return the
+    same compiled trace — from the in-process memo, or from the on-disk
+    layer when another process already built it.
+    """
+    if name not in WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    store = TRACE_CACHE if cache is None else cache
+    key = trace_key(name, num_cores, seed, sizes)
+    return store.get_or_build(key, lambda: [
+        TraceBuffer.compile(trace)
+        for trace in build_traces(name, num_cores, seed=seed, **sizes)])

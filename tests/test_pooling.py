@@ -1,0 +1,135 @@
+"""Message/MSHR pool safety: recycled objects never leak state.
+
+Two properties protect the pooling optimization:
+
+* a recycled object's next incarnation is field-for-field identical to
+  a freshly constructed one (``_reinit`` rewrites everything); and
+* a full simulation produces bit-identical end state with pooling on
+  and off (the ``REPRO_NO_POOL=1`` escape hatch / ``set_pooling``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.common.messages import (CoherenceMsg, MsgType, make_msg,
+                                   pool_size, pooling_enabled, recycle_msg,
+                                   set_pooling)
+from repro.sim.config import bench_kwargs
+from repro.sim.runner import run_workload
+
+#: every CoherenceMsg field that _reinit must rewrite (uid excluded:
+#: it is required to differ between incarnations)
+MSG_FIELDS = ("msg_type", "line_addr", "src", "dests", "requester",
+              "need_push", "reset_push_counters", "ack_required",
+              "is_prefetch", "payload", "vnet", "carries_data",
+              "traffic_class", "traffic_idx", "_pending")
+
+
+@pytest.fixture(autouse=True)
+def _restore_pooling():
+    """Leave the process-wide pooling switch as we found it."""
+    enabled = pooling_enabled()
+    yield
+    set_pooling(enabled)
+
+
+class TestRecycledMessageHygiene:
+    def test_reuse_matches_fresh_construction(self) -> None:
+        """A pooled message's next incarnation leaks no stale fields."""
+        set_pooling(True)
+        dirty = make_msg(MsgType.PUSH, 0xDEAD, 7, (1, 2, 3),
+                         requester=5, need_push=False,
+                         reset_push_counters=True, ack_required=True,
+                         is_prefetch=True, payload=99)
+        stale_uid = dirty.uid
+        for _ in dirty.dests:
+            recycle_msg(dirty)
+        assert pool_size() >= 1
+
+        reused = make_msg(MsgType.GETS, 0x40, 2, (9,))
+        assert reused is dirty  # actually recycled, not a fresh object
+        fresh = CoherenceMsg(MsgType.GETS, 0x40, 2, (9,))
+        for field in MSG_FIELDS:
+            assert getattr(reused, field) == getattr(fresh, field), field
+        assert reused.uid != stale_uid  # uid always re-drawn
+        recycle_msg(reused)
+
+    def test_multicast_pools_only_after_last_delivery(self) -> None:
+        set_pooling(True)
+        msg = make_msg(MsgType.PUSH, 0x80, 0, (1, 2, 3))
+        depth = pool_size()
+        recycle_msg(msg)
+        recycle_msg(msg)
+        assert pool_size() == depth  # two of three deliveries consumed
+        recycle_msg(msg)
+        assert pool_size() == depth + 1
+
+    def test_double_recycle_never_double_pools(self) -> None:
+        """Extra recycle calls (tests re-delivering one object) are inert."""
+        set_pooling(True)
+        msg = make_msg(MsgType.INV_ACK, 0x40, 1, (2,))
+        recycle_msg(msg)
+        depth = pool_size()
+        recycle_msg(msg)  # spurious
+        assert pool_size() == depth
+
+    def test_disabled_pooling_drops_messages(self) -> None:
+        set_pooling(False)
+        assert pool_size() == 0
+        msg = make_msg(MsgType.GETS, 0x40, 1, (2,))
+        recycle_msg(msg)
+        assert pool_size() == 0
+
+
+class TestRecycledMSHRHygiene:
+    def test_reused_register_is_fully_reinitialized(self) -> None:
+        mshrs = MSHRFile(capacity=4)
+        entry = mshrs.allocate(0x10, MsgType.GETM, issued_at=5,
+                               is_prefetch=True)
+        entry.filtered = True
+        entry.had_line_in_s = True
+        entry.add_waiter(lambda: None)
+        entry.complete()
+        mshrs.recycle(mshrs.release(0x10))
+
+        reused = mshrs.allocate(0x20, MsgType.GETS, issued_at=9)
+        assert reused is entry
+        assert reused.line_addr == 0x20
+        assert reused.req_type is MsgType.GETS
+        assert reused.issued_at == 9
+        assert reused.waiters == []
+        assert not reused.filtered
+        assert not reused.is_prefetch
+        assert not reused.had_line_in_s
+
+    def test_recycled_register_waiters_cleared_without_complete(self) -> None:
+        mshrs = MSHRFile(capacity=4)
+        entry = mshrs.allocate(0x10, MsgType.GETS, issued_at=0)
+        entry.add_waiter(lambda: None)  # never completed
+        mshrs.recycle(mshrs.release(0x10))
+        reused = mshrs.allocate(0x30, MsgType.GETS, issued_at=0)
+        assert reused.waiters == []
+
+
+class TestPooledRunEquivalence:
+    #: push-heavy point exercising multicast recycle and the LLC queues
+    POINT = dict(workload="cachebw", config="pushack", num_cores=8,
+                 seed=3, array_lines=512, iters=2)
+
+    def _run(self) -> dict:
+        kwargs = dict(self.POINT)
+        workload = kwargs.pop("workload")
+        config = kwargs.pop("config")
+        return run_workload(workload, config, **kwargs,
+                            **bench_kwargs()).to_dict()
+
+    def test_pooled_matches_unpooled_bit_for_bit(self) -> None:
+        """End-state stats are identical with recycling on and off."""
+        set_pooling(True)
+        pooled = self._run()
+        assert pool_size() > 0, "pooling was not exercised"
+        set_pooling(False)
+        unpooled = self._run()
+        assert pooled == unpooled

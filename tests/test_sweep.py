@@ -10,6 +10,7 @@ from repro.sim.config import bench_kwargs
 from repro.sim.results import SimResult
 from repro.sim.runner import run_comparison, run_workload
 from repro.sim.sweep import (
+    CACHE_SCHEMA_VERSION,
     ResultCache,
     SweepPoint,
     derive_seed,
@@ -18,6 +19,7 @@ from repro.sim.sweep import (
     run_point,
     run_sweep,
 )
+from repro.workloads import registry
 
 #: one fast simulation point (~tens of milliseconds)
 FAST = dict(num_cores=4, iters=4, **bench_kwargs())
@@ -147,6 +149,49 @@ class TestResultCache:
         loaded = cache.get("k" * 64)
         assert isinstance(loaded, SimResult)
         assert loaded.to_dict() == result.to_dict()
+
+
+class TestTraceSharing:
+    def test_schema_version_bumped_for_trace_buffers(self) -> None:
+        """v3 marks the trace-buffer/pooling generation of the cache."""
+        assert CACHE_SCHEMA_VERSION == 3
+
+    def test_sweep_builds_each_trace_once(self, tmp_path,
+                                          monkeypatch) -> None:
+        """Two configs at one point compile one trace (acceptance)."""
+        from repro.cpu.tracebuf import TraceCache
+
+        store = TraceCache(tmp_path)
+        monkeypatch.setattr(registry, "TRACE_CACHE", store)
+        points = [SweepPoint.make("pathfinder", config, seed=777, **FAST)
+                  for config in ("noprefetch", "ordpush", "baseline")]
+        run_sweep(points, jobs=1)
+        assert store.builds == 1
+        assert store.memo_hits == len(points) - 1
+
+    def test_parallel_workers_share_trace_via_disk(self, tmp_path,
+                                                   monkeypatch) -> None:
+        """Worker processes reuse the on-disk buffers where available;
+        results stay bit-identical either way."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        points = [SweepPoint.make("pathfinder", config, seed=778, **FAST)
+                  for config in ("noprefetch", "ordpush")]
+        serial = run_sweep(points, jobs=1)
+        assert list(tmp_path.glob("traces/*.bin"))
+        parallel = run_sweep(points, jobs=2)
+        assert [r.to_dict() for r in parallel] == [
+            r.to_dict() for r in serial]
+
+
+class TestWorkerGCParking:
+    def test_workers_run_with_gc_parked(self, monkeypatch) -> None:
+        """The pool initializer disables the cyclic GC in every worker;
+        the in-worker assert fires (failing the sweep) if it did not."""
+        monkeypatch.setenv("REPRO_ASSERT_GC_PARKED", "1")
+        points = [SweepPoint.make("pathfinder", config, seed=779, **FAST)
+                  for config in ("noprefetch", "ordpush")]
+        results = run_sweep(points, jobs=2)
+        assert all(r.cycles > 0 for r in results)
 
 
 class TestRunComparisonRewired:
