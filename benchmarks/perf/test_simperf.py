@@ -1,6 +1,6 @@
 """Simulator-throughput microbenchmarks (``BENCH_simperf.json``).
 
-Three measurements:
+Four measurements:
 
 * **hot_path cycles/sec** — wall-clock throughput of a mid-size
   streaming run whose profile is dominated by the NoC (router ticks and
@@ -14,9 +14,14 @@ Three measurements:
 * **sweep wall-clock** — a 4-point x 2-config sweep executed twice (as
   the figure suite does: every figure re-reads the shared baseline
   cells), comparing the seed's serial no-cache path against
-  ``run_sweep(jobs=4)`` with a cold on-disk cache.
+  ``run_sweep(jobs=4)`` with a cold on-disk cache;
+* **warm_sweep wall-clock** — a 2-scheme x 3-topology grid where every
+  point shares two thirds of its execution (the cache-warming phase),
+  comparing cold-start full runs against checkpointed execution: one
+  functional warm image per scheme, reused across the topology axis,
+  with only the measured region simulated in detail per point.
 
-All results, plus the improvement ratio, are written to
+All results, plus the improvement ratios, are written to
 ``BENCH_simperf.json`` at the repository root.
 """
 
@@ -106,6 +111,70 @@ def test_cache_dominated_cycles_per_second() -> None:
     print(f"\ncache path: {result.cycles} cycles in {elapsed:.2f}s "
           f"({cycles_per_sec:,.0f} cycles/s)")
     assert result.cycles > 0 and elapsed > 0
+
+
+#: the warm-sweep grid: every (scheme, topology) point runs the same
+#: 2-barrier warm phase; functional warming builds it once per scheme
+WARM_SCHEMES = ("baseline", "ordpush")
+WARM_TOPOLOGIES = ("mesh", "torus", "cmesh")
+WARM_SIZES = dict(array_lines=512, iters=3)
+WARM_BARRIERS = 2
+
+
+def test_warm_sweep_amortizes_warmup() -> None:
+    """Checkpointed warm sweep vs cold-start sweeping (>= 2x).
+
+    The cold leg runs each of the six points end to end.  The warm leg
+    builds one functional warm image per scheme (topology knobs are not
+    part of a functional image's identity), restores it per point, and
+    simulates only the post-checkpoint measured region in detail.
+    """
+    from repro.sim.sweep import run_sweep as sweep
+
+    kw = dict(bench_kwargs(), **WARM_SIZES)
+    warm_points = [SweepPoint.make("cachebw", scheme, num_cores=16, seed=1,
+                                   topology=topology,
+                                   warmup_barriers=WARM_BARRIERS,
+                                   warmup_mode="functional", **kw)
+                   for scheme in WARM_SCHEMES
+                   for topology in WARM_TOPOLOGIES]
+
+    start = time.perf_counter()
+    cold = [run_workload("cachebw", scheme, num_cores=16, seed=1,
+                         topology=topology, **kw)
+            for scheme in WARM_SCHEMES for topology in WARM_TOPOLOGIES]
+    cold_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-warm-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            start = time.perf_counter()
+            warm = sweep(warm_points, jobs=1, cache=False)
+            warm_s = time.perf_counter() - start
+        finally:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+
+    improvement = cold_s / warm_s
+    _write_record({"warm_sweep": {
+        "grid": f"{len(WARM_SCHEMES)} schemes x {len(WARM_TOPOLOGIES)} "
+                f"topologies, warmup {WARM_BARRIERS}/{WARM_SIZES['iters']} "
+                f"barriers (functional)",
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "improvement": round(improvement, 2),
+    }})
+    print(f"\nwarm sweep: cold {cold_s:.2f}s vs checkpointed "
+          f"{warm_s:.2f}s -> {improvement:.2f}x")
+
+    # Measured regions must be real simulations, not cache replays.
+    assert all(r.cycles > 0 and r.instructions > 0 for r in warm)
+    assert all(r.extra["warmup_mode"] == "functional" for r in warm)
+    # The push shape survives warming: schemes keep their cold behavior.
+    cold_pushes = {r.config: r.pushes_triggered for r in cold}
+    warm_pushes = {r.config: r.pushes_triggered for r in warm}
+    assert (warm_pushes["ordpush"] > 0) == (cold_pushes["ordpush"] > 0)
+    assert warm_pushes["baseline"] == 0
+    assert improvement >= 2.0
 
 
 def test_sweep_speedup_over_serial() -> None:

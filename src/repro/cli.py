@@ -1,18 +1,24 @@
 """Command-line interface for the Push Multicast simulator.
 
-Four subcommands::
+Main subcommands::
 
     python -m repro.cli run cachebw ordpush --cores 16 --scaled
     python -m repro.cli compare cachebw --configs baseline ordpush
     python -m repro.cli sweep cachebw --configs baseline ordpush \
         --seeds 3 --jobs 4
+    python -m repro.cli cache stats
     python -m repro.cli list
 
 ``run`` executes one (workload, config) cell and prints the full result
 record; ``compare`` sweeps configurations on one workload and prints a
 normalized table; ``sweep`` fans a (config x seed) grid out over worker
-processes through the on-disk result cache; ``list`` shows the workload
+processes through the on-disk result cache; ``cache`` inspects and
+garbage-collects the on-disk cache tree; ``list`` shows the workload
 catalogue and the named configurations.
+
+``run``/``compare``/``sweep`` accept ``--warmup-barriers N`` (and
+``--warmup-mode functional``) to amortize cache warmup through the
+warm-state checkpoint store; see :mod:`repro.sim.checkpoint`.
 """
 
 from __future__ import annotations
@@ -99,10 +105,17 @@ def _with_profile(args: argparse.Namespace,
     return status
 
 
+def _warmup_kwargs(args: argparse.Namespace) -> dict:
+    """Checkpointed-warmup keywords (kept out of ``_hw_kwargs``)."""
+    return {"warmup_barriers": args.warmup_barriers,
+            "warmup_mode": args.warmup_mode}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     def body() -> int:
         result = run_workload(args.workload, args.config,
                               num_cores=args.cores, seed=args.seed,
+                              **_warmup_kwargs(args),
                               **_hw_kwargs(args))
         _print_result(result)
         return 0
@@ -112,9 +125,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     kwargs = _hw_kwargs(args)
+    warmup = _warmup_kwargs(args)
     baseline = run_workload(args.workload, args.configs[0],
                             num_cores=args.cores, seed=args.seed,
-                            **kwargs)
+                            **warmup, **kwargs)
     print(f"{args.workload} on {args.cores} cores "
           f"(reference: {args.configs[0]})")
     print(f"{'config':18s}{'speedup':>9s}{'traffic':>9s}{'mpki':>8s}"
@@ -123,7 +137,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for config in args.configs[1:]:
         rows.append((config, run_workload(
             args.workload, config, num_cores=args.cores, seed=args.seed,
-            **kwargs)))
+            **warmup, **kwargs)))
     for config, result in rows:
         print(f"{config:18s}{result.speedup_over(baseline):8.2f}x"
               f"{result.traffic_vs(baseline):9.2f}"
@@ -143,7 +157,8 @@ def _run_sweep_cmd(args: argparse.Namespace) -> int:
     seeds = [derive_seed(args.seed, index) for index in range(args.seeds)
              ] if args.seeds > 1 else [args.seed]
     points = [SweepPoint.make(args.workload, config, num_cores=args.cores,
-                              seed=seed, topology=topology, **kwargs)
+                              seed=seed, topology=topology,
+                              **_warmup_kwargs(args), **kwargs)
               for topology in topologies
               for config in args.configs for seed in seeds]
     results = run_sweep(points, jobs=args.jobs,
@@ -205,6 +220,36 @@ def _cmd_topo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return (f"{value:.1f} {unit}" if unit != "B"
+                    else f"{int(value)} {unit}")
+        value /= 1024.0
+    return f"{int(size)} B"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.cachemgmt import cache_gc, cache_root, cache_stats
+
+    root = cache_root(args.dir)
+    if args.cache_command == "stats":
+        stats = cache_stats(root)
+        print(f"cache root: {root}")
+        print(f"{'section':14s}{'entries':>9s}{'bytes':>14s}")
+        for section, row in stats.items():
+            print(f"{section:14s}{row['entries']:9d}"
+                  f"{_format_bytes(row['bytes']):>14s}")
+        return 0
+    report = cache_gc(args.max_bytes, root)
+    print(f"cache root: {root}")
+    print(f"removed {report['removed']} entries "
+          f"({_format_bytes(report['removed_bytes'])}); "
+          f"{_format_bytes(report['remaining_bytes'])} remain")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads (Table II):")
     for name in workload_names():
@@ -239,6 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--concentration", type=int, default=None,
                        help="tiles per router for --topology cmesh "
                             "(default 4)")
+        p.add_argument("--warmup-barriers", type=int, default=0,
+                       metavar="N",
+                       help="checkpointed warmup: build (or reuse) a "
+                            "warm-state snapshot at the Nth barrier "
+                            "crossing and measure only the region "
+                            "after it (default 0 = cold start)")
+        p.add_argument("--warmup-mode", default="detailed",
+                       choices=("detailed", "functional"),
+                       help="how the warm phase executes: the detailed "
+                            "NoC, or the fast fixed-latency functional "
+                            "stand-in (shared across topology knobs)")
 
     def profiled(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -296,6 +352,25 @@ def build_parser() -> argparse.ArgumentParser:
     topo_p.add_argument("--concentration", type=int, default=None,
                         help="tiles per router for cmesh (default 4)")
     topo_p.set_defaults(func=_cmd_topo)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or garbage-collect the on-disk cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    stats_p = cache_sub.add_parser(
+        "stats", help="per-section entry counts and bytes")
+    stats_p.add_argument("--dir", default=None,
+                         help="cache root (default REPRO_CACHE_DIR or "
+                              ".repro_cache)")
+    stats_p.set_defaults(func=_cmd_cache)
+    gc_p = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries until the tree "
+                   "fits under --max-bytes")
+    gc_p.add_argument("--max-bytes", type=int, required=True,
+                      help="target size for the whole cache tree")
+    gc_p.add_argument("--dir", default=None,
+                      help="cache root (default REPRO_CACHE_DIR or "
+                           ".repro_cache)")
+    gc_p.set_defaults(func=_cmd_cache)
 
     list_p = sub.add_parser("list", help="show workloads and configs")
     list_p.set_defaults(func=_cmd_list)

@@ -195,6 +195,63 @@ class StatGroup:
             for name, group in child.walk():
                 yield f"{self.name}.{name}", group
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of this subtree.
+
+        Captures counter values and full histogram contents recursively;
+        the inverse is :meth:`restore_state`.  Used by
+        ``repro.sim.checkpoint`` to carry warm-run statistics across a
+        save/restore boundary so measured-region deltas are exact.
+        """
+        return {
+            "counters": {key: cell.value
+                         for key, cell in self._counters.items()},
+            "histograms": {
+                key: {
+                    "bucket_width": hist.bucket_width,
+                    "buckets": list(hist.buckets),
+                    "overflow": hist.overflow,
+                    "count": hist.count,
+                    "total": hist.total,
+                }
+                for key, hist in self._histograms.items()
+            },
+            "children": {name: child.state()
+                         for name, child in self._children.items()},
+        }
+
+    def restore_state(self, snap: Dict[str, object]) -> None:
+        """Overwrite this subtree from a :meth:`state` snapshot.
+
+        Existing :class:`Counter` cells and :class:`Histogram` objects
+        are mutated **in place** — hot paths hold bound references to
+        them, so the objects must never be replaced.  Keys present in
+        the snapshot but absent here are created; keys present here but
+        absent in the snapshot are reset to zero (the snapshot is
+        authoritative).
+        """
+        counters = snap.get("counters", {})
+        for key, cell in self._counters.items():
+            if key not in counters:
+                cell.value = 0
+        for key, value in counters.items():
+            self.counter(key).value = value
+        for key, hsnap in snap.get("histograms", {}).items():
+            buckets = hsnap["buckets"]
+            hist = self.histogram(key, hsnap["bucket_width"], len(buckets))
+            hist.bucket_width = hsnap["bucket_width"]
+            if len(hist.buckets) == len(buckets):
+                hist.buckets[:] = buckets
+            else:
+                hist.buckets = list(buckets)
+            hist.overflow = hsnap["overflow"]
+            hist.count = hsnap["count"]
+            hist.total = hsnap["total"]
+        for name, csnap in snap.get("children", {}).items():
+            self.child(name).restore_state(csnap)
+
     def merge(self, other: "StatGroup") -> None:
         """Accumulate another group's counters into this one (recursively).
 

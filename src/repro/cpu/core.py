@@ -28,22 +28,49 @@ from repro.cpu.traces import BARRIER, MemAccess, TraceRecord
 
 
 class Barrier:
-    """An all-core rendezvous; re-usable across phases."""
+    """An all-core rendezvous; re-usable across phases.
+
+    ``hold_at`` arms a checkpoint hold: the ``hold_at``-th crossing
+    (1-based) parks its waiters in :attr:`held` instead of releasing
+    them, which lets the system drain to quiescence with every core
+    stopped at a deterministic trace position.  :meth:`release_held`
+    resumes them in their original arrival order.
+    """
 
     def __init__(self, num_cores: int) -> None:
         self.num_cores = num_cores
         self._waiting: List["Core"] = []
+        #: completed crossings (releases + the held one, if any)
+        self.crossings = 0
+        #: hold the Nth crossing instead of releasing it (0 = never)
+        self.hold_at = 0
+        #: cores parked by the held crossing, in arrival order
+        self.held: Optional[List["Core"]] = None
 
     def arrive(self, core: "Core") -> None:
         self._waiting.append(core)
         if len(self._waiting) == self.num_cores:
             waiting, self._waiting = self._waiting, []
+            self.crossings += 1
+            if self.crossings == self.hold_at:
+                self.held = waiting
+                return
             # Release everyone with one bulk insert; list order matches
             # the per-waiter scheduling order of the scalar path.
             scheduler = core.scheduler
             steps = [waiter._step for waiter in waiting
                      if waiter.prepare_resume()]
             scheduler.at_many(scheduler.now, steps)
+
+    def release_held(self) -> None:
+        """Resume the cores parked by a held crossing (arrival order)."""
+        held, self.held = self.held, None
+        if not held:
+            return
+        scheduler = held[0].scheduler
+        steps = [waiter._step for waiter in held
+                 if waiter.prepare_resume()]
+        scheduler.at_many(scheduler.now, steps)
 
 
 class Core:

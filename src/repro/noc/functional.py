@@ -1,0 +1,145 @@
+"""Fixed-latency, infinite-bandwidth NoC stand-in for functional warming.
+
+Checkpoint warmup (see :mod:`repro.sim.checkpoint`) only needs the
+*architectural* warm state — cache contents, directory entries, push and
+prefetch tables, trace cursors — not cycle-accurate transport timing.
+:class:`FunctionalNetwork` duck-types :class:`repro.noc.network.Network`
+for :class:`repro.sim.system.System` but replaces routers, virtual
+channels, and credits with a single scheduler event per destination at a
+fixed latency:
+
+* every message reaches each of its destinations ``FIXED_LATENCY``
+  cycles after injection, regardless of distance, size, or contention;
+* messages injected on the same cycle are delivered in injection order
+  (the time-wheel's FIFO-per-cycle guarantee), which is *stronger* than
+  the detailed fabrics' per-vnet ordering — so every protocol ordering
+  assumption (OrdPush included) holds trivially;
+* the fabric is never ``active``: all in-flight work is plain scheduler
+  events, so the system's drain/quiesce loops need no special casing.
+
+The topology is the *canonical* squarest mesh for the tile count,
+independent of the detailed run's fabric — warm state built functionally
+is therefore shareable across topology and link knobs (the checkpoint
+key drops ``NoCParams``; see ``checkpoint_key``).  Memory-controller
+placement and the home-slice map only depend on that canonical grid.
+
+Traffic accounting is intentionally zero: functional warmup cycles and
+flit counts are not meaningful measurements, and the checkpoint baseline
+subtracts whatever the warm phase recorded anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.messages import CoherenceMsg, TrafficClass
+from repro.common.scheduler import NEVER, Scheduler
+from repro.common.stats import StatGroup
+from repro.noc.topology import Mesh
+
+
+def canonical_shape(num_tiles: int) -> Tuple[int, int]:
+    """The squarest ``rows x cols`` factorization of ``num_tiles``.
+
+    Mirrors ``repro.sim.config.mesh_shape``'s default policy without
+    importing the sim layer (the NoC package sits below it).
+    """
+    if num_tiles < 1:
+        raise ValueError("num_tiles must be >= 1")
+    rows = int(num_tiles ** 0.5)
+    while rows > 1 and num_tiles % rows:
+        rows -= 1
+    return rows, num_tiles // rows
+
+
+class _FunctionalInterface:
+    """Per-tile endpoint: just a settable ejection hook."""
+
+    __slots__ = ("tile", "eject_hook")
+
+    def __init__(self, tile: int) -> None:
+        self.tile = tile
+        self.eject_hook = None
+
+
+class _Delivery:
+    """Pooled scheduler event: hand one message to one tile's hook."""
+
+    __slots__ = ("network", "tile", "msg")
+
+    def __init__(self, network: "FunctionalNetwork") -> None:
+        self.network = network
+        self.tile = 0
+        self.msg: CoherenceMsg = None
+
+    def __call__(self) -> None:
+        msg, self.msg = self.msg, None
+        self.network.interfaces[self.tile].eject_hook(msg)
+        self.network._pool.append(self)
+
+
+class FunctionalNetwork:
+    """Duck-typed ``Network`` replacement with fixed-latency delivery."""
+
+    #: injection-to-ejection latency applied to every hop-free delivery;
+    #: roughly an average mesh traversal (serialization + a few hops) so
+    #: warm-phase MSHR/window dynamics stay in a plausible regime
+    FIXED_LATENCY = 12
+
+    def __init__(self, params, scheduler: Scheduler) -> None:
+        self.params = params
+        self.scheduler = scheduler
+        rows, cols = canonical_shape(params.num_tiles)
+        self.topology = Mesh(rows, cols)
+        self.interfaces = [_FunctionalInterface(tile)
+                           for tile in range(params.num_tiles)]
+        self.routers: Tuple = ()
+        self.stats = StatGroup("network")
+        self.request_filtered_hook = None
+        self.inflight = 0
+        self._pool: List[_Delivery] = []
+
+    # -- endpoint API ------------------------------------------------------
+
+    def interface(self, tile: int) -> _FunctionalInterface:
+        return self.interfaces[tile]
+
+    def send(self, msg: CoherenceMsg) -> None:
+        """Deliver ``msg`` to every destination at the fixed latency."""
+        scheduler = self.scheduler
+        when = scheduler.now + self.FIXED_LATENCY
+        pool = self._pool
+        for dest in msg.dests:
+            event = pool.pop() if pool else _Delivery(self)
+            event.tile = dest
+            event.msg = msg
+            scheduler.at(when, event)
+
+    # -- System run-loop surface ------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return False
+
+    def next_work_cycle(self) -> int:
+        return NEVER
+
+    def watchdog_deadline(self) -> int:
+        return NEVER
+
+    def tick(self, cycle: int) -> None:
+        pass
+
+    # -- stats surface -----------------------------------------------------
+
+    def flush_stat_batches(self) -> None:
+        pass
+
+    def total_flits(self) -> int:
+        return 0
+
+    def traffic_breakdown(self) -> Dict[TrafficClass, int]:
+        return {cls: 0 for cls in TrafficClass}
+
+    def link_load_matrix(self) -> Dict[Tuple[int, str], int]:
+        return {}

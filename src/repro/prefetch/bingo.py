@@ -75,3 +75,32 @@ class BingoPrefetcher:
         for region in list(self._open_order):
             self._commit(region)
         self._open_order.clear()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-safe snapshot (PHT recency and open-region order kept).
+
+        Footprint sets serialize sorted; their iteration order is never
+        consulted (issue order sorts explicitly), so this is lossless.
+        """
+        return {
+            "pht": [[list(trigger), sorted(footprint)]
+                    for trigger, footprint in self._pht.items()],
+            "open": [[region, list(self._open[region][0]),
+                      sorted(self._open[region][1])]
+                     for region in self._open_order],
+            "issued": self.issued,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Rebuild the tables from a :meth:`state` snapshot."""
+        self._pht.clear()
+        for trigger, footprint in snap["pht"]:
+            self._pht[tuple(trigger)] = set(footprint)
+        self._open.clear()
+        self._open_order[:] = []
+        for region, trigger, footprint in snap["open"]:
+            self._open[region] = (tuple(trigger), set(footprint))
+            self._open_order.append(region)
+        self.issued = snap["issued"]

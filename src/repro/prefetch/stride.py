@@ -58,3 +58,25 @@ class StridePrefetcher:
         prefetches = [line for line in prefetches if line >= 0]
         self.issued += len(prefetches)
         return prefetches
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-safe snapshot of the stream table (recency order kept)."""
+        return {
+            "streams": [[pc, s.last_line,
+                         0 if s.delta is None else s.delta,
+                         s.delta is not None, s.confirmed]
+                        for pc, s in self._streams.items()],
+            "issued": self.issued,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Rebuild the stream table from a :meth:`state` snapshot."""
+        self._streams.clear()
+        for pc, last_line, delta, has_delta, confirmed in snap["streams"]:
+            stream = _Stream(last_line)
+            stream.delta = delta if has_delta else None
+            stream.confirmed = confirmed
+            self._streams[pc] = stream
+        self.issued = snap["issued"]

@@ -73,10 +73,47 @@ def run_system(params: SystemParams, traces: List, workload: str = "custom",
     return collect_result(system, workload, config, cycles)
 
 
+def ensure_warm_state(workload: str, config: str, params: SystemParams,
+                      traces: List, num_cores: int, seed: int,
+                      wl_kwargs: Dict, warmup_barriers: int,
+                      warmup_mode: str = "detailed",
+                      checkpoint=None,
+                      max_cycles: int = 100_000_000) -> Dict:
+    """The warm-state snapshot for a point, building it on a store miss.
+
+    Looks the checkpoint up in the content-addressed store first (a
+    corrupt or version-mismatched entry warns and falls through); on a
+    miss, runs the warm phase — detailed, or on the functional NoC
+    stand-in for ``warmup_mode="functional"`` — to the quiesced hold
+    and persists the capture.  Hit or miss, the caller restores the
+    returned state into a fresh detailed system, so both paths execute
+    identically.
+    """
+    from repro.sim.checkpoint import (CheckpointStore, capture_state,
+                                      checkpoint_key)
+
+    if warmup_mode not in ("detailed", "functional"):
+        raise ValueError(f"unknown warmup_mode {warmup_mode!r}")
+    store = checkpoint if checkpoint is not None else CheckpointStore()
+    key = checkpoint_key(params, workload, num_cores, seed, wl_kwargs,
+                         warmup_barriers, warmup_mode)
+    state = store.get(key)
+    if state is None:
+        warm = System(params, functional_noc=warmup_mode == "functional")
+        warm.attach_workload(traces)
+        warm.run_to_quiesce(warmup_barriers, max_cycles=max_cycles)
+        state = capture_state(warm, workload, config)
+        store.put(key, state)
+    return state
+
+
 def run_workload(workload: str, config: str = "baseline",
                  num_cores: int = 16,
                  max_cycles: int = 100_000_000,
                  seed: int = 1,
+                 warmup_barriers: int = 0,
+                 warmup_mode: str = "detailed",
+                 checkpoint=None,
                  **kwargs) -> SimResult:
     """Run a named workload under a named configuration.
 
@@ -86,20 +123,45 @@ def run_workload(workload: str, config: str = "baseline",
     cache, so repeat runs of the same ``(workload, num_cores, seed,
     sizes)`` point — e.g. a configuration sweep — reuse one compiled
     trace.
+
+    ``warmup_barriers`` > 0 switches to checkpointed execution: the
+    warm phase up to that barrier crossing is built once (or loaded
+    from the checkpoint store; see :mod:`repro.sim.checkpoint`),
+    restored into a fresh detailed system, and only the measured
+    region runs in this process.  The result then reports
+    measured-region deltas — ``cycles`` is the region length, and every
+    counter excludes the warm phase.  ``warmup_mode="functional"``
+    builds the warm state on the fixed-latency NoC stand-in, which is
+    much faster and shared across topology/link knobs.
     """
     from repro.workloads.registry import build_trace_buffers
 
     params, wl_kwargs = resolve_point(workload, config, num_cores, **kwargs)
     traces = build_trace_buffers(workload, num_cores=num_cores, seed=seed,
                                  **wl_kwargs)
-    return run_system(params, traces, workload=workload, config=config,
-                      max_cycles=max_cycles)
+    if warmup_barriers <= 0:
+        return run_system(params, traces, workload=workload, config=config,
+                          max_cycles=max_cycles)
+
+    from repro.sim.checkpoint import measured_result, restore_system
+
+    state = ensure_warm_state(workload, config, params, traces,
+                              num_cores, seed, wl_kwargs, warmup_barriers,
+                              warmup_mode, checkpoint, max_cycles)
+    system = System(params)
+    system.attach_workload(traces)
+    restore_system(system, state)
+    finish = system.run(max_cycles=max_cycles)
+    return measured_result(system, workload, config, finish, state,
+                           warmup_barriers, warmup_mode)
 
 
 def run_comparison(workload: str, configs: List[str],
                    num_cores: int = 16, seed: int = 1,
                    jobs: int = 1, cache=False,
                    max_cycles: int = 100_000_000,
+                   warmup_barriers: int = 0,
+                   warmup_mode: str = "detailed",
                    **kwargs) -> Dict[str, SimResult]:
     """Run one workload under several configurations.
 
@@ -107,11 +169,16 @@ def run_comparison(workload: str, configs: List[str],
     ``cache`` enables the on-disk result cache (pass ``True`` for the
     default location, or a :class:`~repro.sim.sweep.ResultCache`).
     Results are identical to serial execution for the same seed.
+    ``warmup_barriers``/``warmup_mode`` enable checkpointed warmup:
+    each config's warm state is built once and the measured regions
+    fork from it (see :func:`run_workload`).
     """
     from repro.sim.sweep import SweepPoint, run_sweep
 
     points = [SweepPoint.make(workload, config, num_cores=num_cores,
-                              seed=seed, max_cycles=max_cycles, **kwargs)
+                              seed=seed, max_cycles=max_cycles,
+                              warmup_barriers=warmup_barriers,
+                              warmup_mode=warmup_mode, **kwargs)
               for config in configs]
     results = run_sweep(points, jobs=jobs, cache=cache)
     return dict(zip(configs, results))

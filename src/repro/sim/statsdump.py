@@ -38,6 +38,9 @@ def dump_stats(system, aggregate: bool = True) -> str:
     out = io.StringIO()
     out.write("---------- Begin Simulation Statistics ----------\n")
     out.write(f"sim.cycles{'':<34s} {system.scheduler.now}\n")
+    restored_at = getattr(system, "restored_at", None)
+    if restored_at is not None:
+        out.write(f"sim.restored_at{'':<29s} {restored_at}\n")
     out.write(f"sim.cores_finished{'':<26s} "
               f"{sum(1 for c in system.cores if c.finished)}\n")
 

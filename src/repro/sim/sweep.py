@@ -57,8 +57,11 @@ from repro.sim.results import SimResult
 #: results may carry a topology tag).  3: precompiled trace buffers
 #: drive the cores and the coherence layer pools messages/MSHRs — the
 #: results are bit-identical by construction, but the trace compiler is
-#: now part of the contract the cache key must cover.
-CACHE_SCHEMA_VERSION = 3
+#: now part of the contract the cache key must cover.  4: the key now
+#: covers the measurement window (``warmup_barriers``/``warmup_mode``),
+#: fixing a latent aliasing bug where a windowed (measured-region) run
+#: could replay a cached full-run record or vice versa.
+CACHE_SCHEMA_VERSION = 4
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -79,15 +82,24 @@ class SweepPoint:
     seed: int = 1
     max_cycles: int = 100_000_000
     kwargs: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+    #: > 0 enables checkpointed warmup: warm to this barrier crossing,
+    #: then measure (the result reports measured-region deltas)
+    warmup_barriers: int = 0
+    #: warm-phase fidelity: "detailed" or "functional"
+    warmup_mode: str = "detailed"
 
     @classmethod
     def make(cls, workload: str, config: str = "baseline",
              num_cores: int = 16, seed: int = 1,
-             max_cycles: int = 100_000_000, **kwargs) -> "SweepPoint":
+             max_cycles: int = 100_000_000,
+             warmup_barriers: int = 0,
+             warmup_mode: str = "detailed", **kwargs) -> "SweepPoint":
         """Build a point from plain keyword arguments."""
         return cls(workload=workload, config=config, num_cores=num_cores,
                    seed=seed, max_cycles=max_cycles,
-                   kwargs=tuple(sorted(kwargs.items())))
+                   kwargs=tuple(sorted(kwargs.items())),
+                   warmup_barriers=warmup_barriers,
+                   warmup_mode=warmup_mode)
 
     def label(self) -> str:
         topology = dict(self.kwargs).get("topology", "mesh")
@@ -111,7 +123,8 @@ def expand_seeds(point: SweepPoint, num_seeds: int) -> List[SweepPoint]:
     """Replicate one point across ``num_seeds`` derived seeds."""
     return [SweepPoint(point.workload, point.config, point.num_cores,
                        derive_seed(point.seed, index), point.max_cycles,
-                       point.kwargs)
+                       point.kwargs, point.warmup_barriers,
+                       point.warmup_mode)
             for index in range(num_seeds)]
 
 
@@ -133,6 +146,12 @@ def point_key(point: SweepPoint) -> str:
             "sizes": wl_kwargs,
         },
         "max_cycles": point.max_cycles,
+        # The measurement window is part of the result's identity: a
+        # measured-region record must never alias a full-run record.
+        "warmup": {
+            "barriers": point.warmup_barriers,
+            "mode": point.warmup_mode,
+        },
     }
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"),
                            default=repr)
@@ -219,8 +238,43 @@ def _execute_point(point: SweepPoint) -> Dict:
     result = run_workload(point.workload, point.config,
                           num_cores=point.num_cores,
                           max_cycles=point.max_cycles,
-                          seed=point.seed, **dict(point.kwargs))
+                          seed=point.seed,
+                          warmup_barriers=point.warmup_barriers,
+                          warmup_mode=point.warmup_mode,
+                          **dict(point.kwargs))
     return result.to_dict()
+
+
+def _warm_checkpoint_key(point: SweepPoint) -> Optional[str]:
+    """The point's warm-state key, or None when it warms from cold."""
+    if point.warmup_barriers <= 0:
+        return None
+    from repro.sim.checkpoint import checkpoint_key
+    from repro.sim.runner import resolve_point
+
+    params, wl_kwargs = resolve_point(
+        point.workload, point.config, point.num_cores,
+        **dict(point.kwargs))
+    return checkpoint_key(params, point.workload, point.num_cores,
+                          point.seed, wl_kwargs, point.warmup_barriers,
+                          point.warmup_mode)
+
+
+def _prepare_checkpoint(point: SweepPoint) -> None:
+    """Worker entry: make sure the point's warm state is on disk."""
+    from repro.sim.runner import ensure_warm_state, resolve_point
+    from repro.workloads.registry import build_trace_buffers
+
+    params, wl_kwargs = resolve_point(
+        point.workload, point.config, point.num_cores,
+        **dict(point.kwargs))
+    traces = build_trace_buffers(point.workload,
+                                 num_cores=point.num_cores,
+                                 seed=point.seed, **wl_kwargs)
+    ensure_warm_state(point.workload, point.config, params, traces,
+                      point.num_cores, point.seed, wl_kwargs,
+                      point.warmup_barriers, point.warmup_mode,
+                      max_cycles=point.max_cycles)
 
 
 def run_point(point: SweepPoint, cache=None) -> SimResult:
@@ -267,12 +321,30 @@ def run_sweep(points: Sequence[Union[SweepPoint, dict]],
             pending.append((key, point))
 
     if pending:
+        # Warm-checkpoint prefetch: points sharing a (workload,
+        # warm-config) prefix reuse one warm state, so build each unique
+        # checkpoint exactly once before fanning the points out —
+        # otherwise every worker hitting the same cold key would rebuild
+        # it.  Skipped when the on-disk store is disabled (nothing would
+        # be shared).
+        warm_builds: List[SweepPoint] = []
+        if not os.environ.get("REPRO_NO_CACHE"):
+            seen_warm = set()
+            for _, point in pending:
+                warm_key = _warm_checkpoint_key(point)
+                if warm_key is not None and warm_key not in seen_warm:
+                    seen_warm.add(warm_key)
+                    warm_builds.append(point)
         if jobs > 1:
             with ProcessPoolExecutor(max_workers=jobs,
                                      initializer=_init_worker) as pool:
+                if warm_builds:
+                    list(pool.map(_prepare_checkpoint, warm_builds))
                 dicts = list(pool.map(
                     _execute_point, [p for _, p in pending]))
         else:
+            for point in warm_builds:
+                _prepare_checkpoint(point)
             dicts = [_execute_point(p) for _, p in pending]
         for (key, _), data in zip(pending, dicts):
             result = SimResult.from_dict(data)

@@ -36,6 +36,7 @@ from repro.cache.memory import MemoryController
 from repro.cache.private_cache import PrivateCache
 from repro.cpu.core import Barrier, Core
 from repro.cpu.traces import TraceRecord
+from repro.noc.functional import FunctionalNetwork
 from repro.noc.network import Network
 from repro.prefetch.unit import PrefetchUnit
 
@@ -53,15 +54,21 @@ _MEM_BOUND = frozenset({MsgType.MEM_READ, MsgType.MEM_WB})
 class System:
     """A configured manycore system ready to execute workload traces."""
 
-    def __init__(self, params: SystemParams) -> None:
+    def __init__(self, params: SystemParams,
+                 functional_noc: bool = False) -> None:
         self.params = params
         self.scheduler = Scheduler()
         push = params.push
-        self.network = Network(
-            params.noc, self.scheduler,
-            filter_enabled=push.pushes and push.network_filter
-            and push.mode != "msp",
-            ordered_pushes=push.mode == "ordpush")
+        #: fixed-latency functional NoC stand-in (warmup fast-forward)?
+        self.functional_noc = functional_noc
+        if functional_noc:
+            self.network = FunctionalNetwork(params.noc, self.scheduler)
+        else:
+            self.network = Network(
+                params.noc, self.scheduler,
+                filter_enabled=push.pushes and push.network_filter
+                and push.mode != "msp",
+                ordered_pushes=push.mode == "ordpush")
         self.addr_map = AddressMap(params.num_cores)
         self.stats = StatGroup("system")
         #: authoritative line-version registry shared by all LLC slices
@@ -103,6 +110,7 @@ class System:
 
         self.cores: List[Core] = []
         self._finished_cores = 0
+        self._cores_started = False
 
     # ------------------------------------------------------------------
     # wiring helpers
@@ -166,6 +174,78 @@ class System:
     def all_finished(self) -> bool:
         return bool(self.cores) and self._finished_cores == len(self.cores)
 
+    def _start_cores(self) -> None:
+        """Start every core exactly once (idempotent across run calls)."""
+        if self._cores_started:
+            return
+        self._cores_started = True
+        for core in self.cores:
+            core.start()
+
+    def run_to_quiesce(self, warmup_barriers: int,
+                       max_cycles: int = 100_000_000) -> int:
+        """Run to the ``warmup_barriers``-th barrier crossing and drain.
+
+        Arms the workload barrier to *hold* its Nth crossing (1-based):
+        every core parks at a deterministic trace position and, with no
+        new work being injected, the NoC and scheduler drain completely
+        — in-flight fills, writebacks, pushes, and acks all land, so the
+        architectural state is capturable without serializing packets.
+        Returns the quiesce cycle.  The system is left held — capture it
+        with :func:`repro.sim.checkpoint.capture_state`, or call
+        :meth:`run` to release the barrier and continue (the in-process
+        twin of a checkpoint restore).
+        """
+        if not self.cores:
+            raise ConfigError("attach_workload() before run_to_quiesce()")
+        if warmup_barriers < 1:
+            raise ConfigError("warmup_barriers must be >= 1")
+        if any(core._buf is None for core in self.cores):
+            raise ConfigError(
+                "checkpointing requires precompiled trace buffers "
+                "(build the workload via build_trace_buffers)")
+        barrier = self.cores[0].barrier
+        barrier.hold_at = warmup_barriers
+        self._start_cores()
+        scheduler = self.scheduler
+        network = self.network
+        cycle = scheduler.now
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while not (barrier.held is not None and not network.active
+                       and not scheduler.pending):
+                next_event = scheduler.next_event_cycle()
+                target = next_event if next_event is not None else NEVER
+                work = network.next_work_cycle()
+                if work < target:
+                    target = work
+                if network.active:
+                    deadline = network.watchdog_deadline()
+                    if deadline < target:
+                        target = deadline
+                elif target >= NEVER:
+                    if self.all_finished or any(
+                            core.finished for core in self.cores):
+                        raise ConfigError(
+                            f"trace ended before warmup barrier "
+                            f"{warmup_barriers}: the workload has too "
+                            f"few barriers for this warmup window")
+                    raise SimulationError(
+                        "system idle before reaching the held barrier "
+                        "(protocol hang)")
+                cycle = max(cycle + 1, target)
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"warmup exceeded max_cycles={max_cycles}")
+                scheduler.run_due(cycle)
+                network.tick(cycle)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return scheduler.now
+
     def run(self, max_cycles: int = 100_000_000,
             drain: bool = True) -> int:
         """Execute until every core retires its trace.
@@ -182,8 +262,12 @@ class System:
         """
         if not self.cores:
             raise ConfigError("attach_workload() before run()")
-        for core in self.cores:
-            core.start()
+        self._start_cores()
+        barrier = self.cores[0].barrier
+        if barrier is not None and barrier.held is not None:
+            # Continuing past a quiesced warmup hold (the in-process
+            # twin of a checkpoint restore).
+            barrier.release_held()
         scheduler = self.scheduler
         network = self.network
         cycle = scheduler.now

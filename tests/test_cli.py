@@ -85,6 +85,67 @@ class TestCommands:
         assert not cache_dir.exists()
 
 
+class TestWarmupFlags:
+    def test_warmup_flags_parse(self) -> None:
+        args = build_parser().parse_args(
+            ["run", "cachebw", "ordpush", "--warmup-barriers", "2",
+             "--warmup-mode", "functional"])
+        assert args.warmup_barriers == 2
+        assert args.warmup_mode == "functional"
+
+    def test_rejects_unknown_warmup_mode(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "cachebw", "ordpush", "--warmup-mode", "turbo"])
+
+    def test_warm_run_small(self, capsys, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["run", "cachebw", "ordpush", "--cores", "4",
+                     "--warmup-barriers", "2", "--warmup-mode",
+                     "functional"])
+        assert code == 0
+        assert "cycles" in capsys.readouterr().out
+        assert (tmp_path / "cache" / "ckpt").is_dir()
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "pathfinder", "--configs", "noprefetch",
+                     "--cores", "4", "--scaled",
+                     "--warmup-barriers", "2"]) == 0
+
+    def test_stats_reports_sections(self, capsys, tmp_path,
+                                    monkeypatch) -> None:
+        self._populate(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        for section in ("results", "traces", "checkpoints", "total"):
+            assert section in out
+
+    def test_gc_to_zero_empties_the_tree(self, capsys, tmp_path,
+                                         monkeypatch) -> None:
+        self._populate(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-bytes", "0"]) == 0
+        assert "removed" in capsys.readouterr().out
+        from repro.sim.cachemgmt import cache_stats
+        assert cache_stats()["total"]["bytes"] == 0
+
+    def test_gc_keeps_newest_entries(self, tmp_path) -> None:
+        import os
+        from repro.sim.cachemgmt import cache_gc
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text("x" * 100)
+        new.write_text("y" * 100)
+        os.utime(old, (1, 1))
+        report = cache_gc(150, tmp_path)
+        assert report["removed"] == 1
+        assert not old.exists() and new.exists()
+
+
 class TestTopologyFlags:
     def test_run_on_torus(self, capsys) -> None:
         code = main(["run", "pathfinder", "noprefetch", "--cores", "4",

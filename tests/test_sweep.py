@@ -152,9 +152,9 @@ class TestResultCache:
 
 
 class TestTraceSharing:
-    def test_schema_version_bumped_for_trace_buffers(self) -> None:
-        """v3 marks the trace-buffer/pooling generation of the cache."""
-        assert CACHE_SCHEMA_VERSION == 3
+    def test_schema_version_bumped_for_warmup_keys(self) -> None:
+        """v4 adds the measurement window to every point's identity."""
+        assert CACHE_SCHEMA_VERSION == 4
 
     def test_sweep_builds_each_trace_once(self, tmp_path,
                                           monkeypatch) -> None:
