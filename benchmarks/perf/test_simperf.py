@@ -1,10 +1,15 @@
 """Simulator-throughput microbenchmarks (``BENCH_simperf.json``).
 
-Four measurements:
+Five measurements:
 
 * **hot_path cycles/sec** — wall-clock throughput of a mid-size
   streaming run whose profile is dominated by the NoC (router ticks and
   link events), the number the event-driven-core optimizations move;
+* **big_fabric cycles/sec** — a saturated 64-core run on the vectorized
+  array NoC backend (``engine="array"``), the regime that engine
+  exists for; it self-regresses against its own committed record, so
+  slowdowns in the vectorized passes fail CI even though the event
+  engine never executes them;
 * **cache_path cycles/sec** — the same measurement on an L2-resident
   shared-read point where the coherence/cache/CPU layer (protocol
   handlers, SRAM probes, the prefetch path, trace replay) dominates and
@@ -87,6 +92,33 @@ def test_simulated_cycles_per_second() -> None:
     }})
     print(f"\nhot path: {result.cycles} cycles in {elapsed:.2f}s "
           f"({cycles_per_sec:,.0f} cycles/s)")
+    assert result.cycles > 0 and elapsed > 0
+
+
+def test_big_fabric_cycles_per_second() -> None:
+    """Array-engine throughput on a saturated 64-core fabric.
+
+    The same workload shape as ``hot_path`` scaled to 64 cores, run on
+    the vectorized array backend.  The committed record is the gate:
+    CI fails if the vectorized passes regress >10%, independent of the
+    event engine's numbers.
+    """
+    start = time.perf_counter()
+    result = run_workload("cachebw", "ordpush", num_cores=64, seed=1,
+                          engine="array", array_lines=768, iters=2,
+                          **bench_kwargs())
+    elapsed = time.perf_counter() - start
+    cycles_per_sec = result.cycles / elapsed
+    _write_record({"big_fabric": {
+        "workload": "cachebw/ordpush/64c (array engine)",
+        "engine": "array",
+        "simulated_cycles": result.cycles,
+        "wall_seconds": round(elapsed, 4),
+        "cycles_per_sec": round(cycles_per_sec, 1),
+    }})
+    print(f"\nbig fabric: {result.cycles} cycles in {elapsed:.2f}s "
+          f"({cycles_per_sec:,.0f} cycles/s)")
+    assert result.extra.get("engine") == "array"
     assert result.cycles > 0 and elapsed > 0
 
 

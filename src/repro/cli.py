@@ -31,7 +31,7 @@ import pstats
 import sys
 from typing import Callable, List, Optional
 
-from repro.common.params import TOPOLOGIES
+from repro.common.params import ENGINES, TOPOLOGIES
 from repro.sim.config import CONFIG_NAMES, bench_kwargs, mesh_shape
 from repro.sim.results import PUSH_CATEGORIES, SimResult
 from repro.sim.runner import run_workload
@@ -53,6 +53,8 @@ def _hw_kwargs(args: argparse.Namespace) -> dict:
         kwargs["shape"] = args.shape
     if getattr(args, "concentration", None) is not None:
         kwargs["concentration"] = args.concentration
+    if getattr(args, "engine", None) is not None:
+        kwargs["engine"] = args.engine
     return kwargs
 
 
@@ -284,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--concentration", type=int, default=None,
                        help="tiles per router for --topology cmesh "
                             "(default 4)")
+        p.add_argument("--engine", default=None, choices=ENGINES,
+                       help="NoC backend: the event-driven reference "
+                            "or the vectorized array engine for large "
+                            "fabrics (default event)")
         p.add_argument("--warmup-barriers", type=int, default=0,
                        metavar="N",
                        help="checkpointed warmup: build (or reuse) a "

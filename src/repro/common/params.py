@@ -88,6 +88,11 @@ class CacheParams:
 #: (mirrored here so the params layer stays import-free of the NoC stack).
 TOPOLOGIES = ("mesh", "torus", "ring", "cmesh")
 
+#: NoC execution backends (``repro.noc``): the object-granular event
+#: engine is the golden reference; the array engine advances the whole
+#: fabric as NumPy arrays and is gated on statistical equivalence.
+ENGINES = ("event", "array")
+
 
 @dataclass(frozen=True)
 class NoCParams:
@@ -120,6 +125,12 @@ class NoCParams:
     concentration: int = 4
     """Tiles per router under the ``cmesh`` topology (ignored elsewhere)."""
 
+    engine: str = "event"
+    """NoC execution backend: ``event`` (the object-granular reference
+    engine) or ``array`` (the vectorized whole-fabric NumPy engine,
+    statistically equivalent and much faster on large saturated
+    fabrics)."""
+
     def __post_init__(self) -> None:
         _require(self.rows >= 1 and self.cols >= 1, "mesh must be at least 1x1")
         _require(self.link_bits in (64, 128, 256, 512),
@@ -132,6 +143,8 @@ class NoCParams:
                  "VC depth must hold a full data packet (virtual cut-through)")
         _require(self.topology in TOPOLOGIES,
                  f"topology must be one of {TOPOLOGIES}, got {self.topology!r}")
+        _require(self.engine in ENGINES,
+                 f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.topology in ("torus", "ring"):
             _require(self.vcs_per_vnet >= 2 and self.vcs_per_vnet % 2 == 0,
                      f"{self.topology} needs an even vcs_per_vnet >= 2 "

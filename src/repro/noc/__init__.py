@@ -15,7 +15,18 @@ from repro.noc.routing import Direction, multicast_output_ports, route_compute
 from repro.noc.topology import (ConcentratedMesh, Mesh, Ring, Topology,
                                 Torus, build_topology)
 
+
+def __getattr__(name: str):
+    # ArrayNetwork is resolved lazily so importing the package (and
+    # every event-engine run) never pays the numpy import.
+    if name == "ArrayNetwork":
+        from repro.noc.arrayengine import ArrayNetwork
+        return ArrayNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ArrayNetwork",
     "ConcentratedMesh",
     "Direction",
     "InNetworkFilter",

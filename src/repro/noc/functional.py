@@ -35,6 +35,7 @@ from typing import Dict, List, Tuple
 from repro.common.messages import CoherenceMsg, TrafficClass
 from repro.common.scheduler import NEVER, Scheduler
 from repro.common.stats import StatGroup
+from repro.noc.network import flat_link_load_matrix
 from repro.noc.topology import Mesh
 
 
@@ -98,6 +99,13 @@ class FunctionalNetwork:
         self.request_filtered_hook = None
         self.inflight = 0
         self._pool: List[_Delivery] = []
+        # Link-load accounting in the same flat (router << shift) | port
+        # layout as the detailed engines — functional warmup records no
+        # flits, but reporting one shape across all backends keeps the
+        # chart/report consumers backend-agnostic.
+        self._ll_shift = max((self.topology.radix - 1).bit_length(), 1)
+        self._link_load: List[int] = [0] * (
+            self.topology.num_routers << self._ll_shift)
 
     # -- endpoint API ------------------------------------------------------
 
@@ -136,10 +144,11 @@ class FunctionalNetwork:
         pass
 
     def total_flits(self) -> int:
-        return 0
+        return sum(self._link_load)
 
     def traffic_breakdown(self) -> Dict[TrafficClass, int]:
         return {cls: 0 for cls in TrafficClass}
 
     def link_load_matrix(self) -> Dict[Tuple[int, str], int]:
-        return {}
+        return flat_link_load_matrix(
+            self._link_load, self._ll_shift, self.topology.port_name)

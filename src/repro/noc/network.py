@@ -22,7 +22,6 @@ Push-multicast configuration enters here through two switches:
 
 from __future__ import annotations
 
-from bisect import insort
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import SimulationError
@@ -41,6 +40,22 @@ from repro.noc.vc import VirtualChannel
 #: cycles without any packet movement (while packets exist) that we treat
 #: as a network deadlock — generous enough for worst-case backpressure.
 DEADLOCK_WATCHDOG_CYCLES = 200_000
+
+
+def flat_link_load_matrix(link_load, shift: int,
+                          port_name) -> Dict[Tuple[int, str], int]:
+    """Decode a flat per-link load array into the report-facing dict.
+
+    Every NoC backend (event, array, functional) stores link loads in the
+    same flat layout — index ``(router << shift) | port`` — and reports
+    them keyed ``(router, port name)``.  Keeping the decode here means
+    ``report/charts.py`` consumes one shape regardless of the engine that
+    produced the run.  Zero entries are elided; values are coerced to
+    plain ``int`` so NumPy-backed arrays serialize cleanly.
+    """
+    mask = (1 << shift) - 1
+    return {(key >> shift, port_name(key & mask)): int(flits)
+            for key, flits in enumerate(link_load) if flits}
 
 
 class Network:
@@ -80,15 +95,21 @@ class Network:
         self.request_filtered_hook: Optional[
             Callable[[CoherenceMsg], None]] = None
         self.inflight = 0
-        # Active components are kept as sorted id lists (compacted in
-        # place each sweep) plus membership sets for O(1) de-dup on mark.
-        # Marks only ever happen from scheduler callbacks, never from
-        # inside ``tick``, so in-place compaction during iteration is
-        # safe and iteration order matches the old per-cycle sorted().
+        # Active components are kept as append-only id lists sorted on
+        # demand (a dirty flag set by marks, cleared by one sort at the
+        # next sweep) plus membership bitmaps for O(1) de-dup on mark —
+        # a wake is a bit test and an append instead of the old O(n)
+        # ``insort``, which was measurable at 256 routers.  Marks only
+        # ever happen from scheduler callbacks, never from inside
+        # ``tick``, so sorting at sweep start reproduces the old
+        # always-sorted iteration order exactly, and in-place compaction
+        # during iteration stays safe.
         self._active_routers: List[int] = []
-        self._active_router_set: set = set()
+        self._active_router_mask = 0
+        self._routers_dirty = False
         self._active_nis: List[int] = []
-        self._active_ni_set: set = set()
+        self._active_ni_mask = 0
+        self._nis_dirty = False
         self._last_progress = 0
         #: earliest cycle any router/NI could act (min of next_ticks)
         self._next_work = NEVER
@@ -302,10 +323,11 @@ class Network:
             router.next_tick = wake
         if wake < self._next_work:
             self._next_work = wake
-        router_id = router.id
-        if router_id not in self._active_router_set:
-            self._active_router_set.add(router_id)
-            insort(self._active_routers, router_id)
+        bit = 1 << router.id
+        if not self._active_router_mask & bit:
+            self._active_router_mask |= bit
+            self._active_routers.append(router.id)
+            self._routers_dirty = True
 
     def mark_ni_active(self, ni: NetworkInterface) -> None:
         # Called from the event phase (an inject); injection is possible
@@ -315,10 +337,11 @@ class Network:
             ni.next_tick = now
         if now < self._next_work:
             self._next_work = now
-        tile = ni.tile
-        if tile not in self._active_ni_set:
-            self._active_ni_set.add(tile)
-            insort(self._active_nis, tile)
+        bit = 1 << ni.tile
+        if not self._active_ni_mask & bit:
+            self._active_ni_mask |= bit
+            self._active_nis.append(ni.tile)
+            self._nis_dirty = True
 
     def _eject(self, tile: int, packet: Packet) -> None:
         self.inflight -= 1
@@ -371,8 +394,10 @@ class Network:
             work = NEVER
             nis = self._active_nis
             if nis:
+                if self._nis_dirty:
+                    nis.sort()
+                    self._nis_dirty = False
                 interfaces = self.interfaces
-                ni_set = self._active_ni_set
                 dropped = False
                 for tile in nis:
                     ni = interfaces[tile]
@@ -382,16 +407,19 @@ class Network:
                         if ni.next_tick < work:
                             work = ni.next_tick
                     else:
-                        ni_set.remove(tile)
+                        self._active_ni_mask &= ~(1 << tile)
                         dropped = True
                 if dropped:
                     # Compact only when something actually went idle —
                     # the steady-state sweep then stays store-free.
-                    nis[:] = [tile for tile in nis if tile in ni_set]
+                    mask = self._active_ni_mask
+                    nis[:] = [tile for tile in nis if mask >> tile & 1]
             active = self._active_routers
             if active:
+                if self._routers_dirty:
+                    active.sort()
+                    self._routers_dirty = False
                 routers = self.routers
-                router_set = self._active_router_set
                 dropped = False
                 for router_id in active:
                     router = routers[router_id]
@@ -403,16 +431,17 @@ class Network:
                                 if router.next_tick < work:
                                     work = router.next_tick
                             else:
-                                router_set.remove(router_id)
+                                self._active_router_mask &= ~(1 << router_id)
                                 dropped = True
                         elif router.next_tick < work:
                             work = router.next_tick
                     else:
-                        router_set.remove(router_id)
+                        self._active_router_mask &= ~(1 << router_id)
                         dropped = True
                 self._sweep_pos = -1
                 if dropped:
-                    active[:] = [r for r in active if r in router_set]
+                    mask = self._active_router_mask
+                    active[:] = [r for r in active if mask >> r & 1]
             if work < self._next_work:
                 self._next_work = work
         if (self.inflight > 0
@@ -447,8 +476,5 @@ class Network:
 
     def link_load_matrix(self) -> Dict[Tuple[int, str], int]:
         """Per-link flit counts keyed by (router, port name) — Fig 14."""
-        shift = self._ll_shift
-        mask = (1 << shift) - 1
-        port_name = self.topology.port_name
-        return {(key >> shift, port_name(key & mask)): flits
-                for key, flits in enumerate(self._link_load) if flits}
+        return flat_link_load_matrix(
+            self._link_load, self._ll_shift, self.topology.port_name)

@@ -45,7 +45,6 @@ with the *old* count right before the membership changes.
 
 from __future__ import annotations
 
-from bisect import insort
 from heapq import heappush
 from typing import List, Optional, Tuple
 
@@ -203,11 +202,11 @@ class Router:
             self.next_tick = wake
         if wake < net._next_work:
             net._next_work = wake
-        router_id = self.id
-        active_set = net._active_router_set
-        if router_id not in active_set:
-            active_set.add(router_id)
-            insort(net._active_routers, router_id)
+        bit = 1 << self.id
+        if not net._active_router_mask & bit:
+            net._active_router_mask |= bit
+            net._active_routers.append(self.id)
+            net._routers_dirty = True
 
         if self._push_tracking and msg_type is _PUSH:
             self._register_push(packet, ports)

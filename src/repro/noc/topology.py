@@ -142,6 +142,49 @@ class Topology:
                 if link is not None:
                     yield (router, port, link[0], link[1])
 
+    def port_tables(self) -> Dict[str, list]:
+        """The port graph flattened into dense per-``(router, port)``
+        tables — the compilation target of the vectorized array engine
+        (:mod:`repro.noc.arrayengine`), kept NumPy-free here.
+
+        Every table is a ``num_routers x radix`` nested list indexed by
+        absent-port-safe sentinels: ``neighbor_router``/``neighbor_port``
+        give the far end of a link (-1 on ejection/absent ports),
+        ``eject_tile`` the attached tile (-1 on link/absent ports),
+        ``present`` whether the port exists, and ``dateline`` whether a
+        packet crossing the port bumps its dateline VC class.  ``attach``
+        is a ``num_tiles``-long list of ``[router, port]`` injection
+        points.
+        """
+        routers = self.num_routers
+        radix = self.radix
+        nbr_router = [[-1] * radix for _ in range(routers)]
+        nbr_port = [[-1] * radix for _ in range(routers)]
+        eject = [[-1] * radix for _ in range(routers)]
+        present = [[False] * radix for _ in range(routers)]
+        dateline = [[False] * radix for _ in range(routers)]
+        for router in range(routers):
+            mask = self.dateline_mask(router)
+            for port in self.router_ports(router):
+                present[router][port] = True
+                dateline[router][port] = bool(mask >> port & 1)
+                link = self.link(router, port)
+                if link is not None:
+                    nbr_router[router][port], nbr_port[router][port] = link
+                else:
+                    tile = self.eject_tile(router, port)
+                    if tile is not None:
+                        eject[router][port] = tile
+        return {
+            "neighbor_router": nbr_router,
+            "neighbor_port": nbr_port,
+            "eject_tile": eject,
+            "present": present,
+            "dateline": dateline,
+            "attach": [list(self.attach(tile))
+                       for tile in range(self.num_tiles)],
+        }
+
     def average_hop_distance(self) -> float:
         """Mean router hops over all ordered tile pairs (a != b)."""
         tiles = self.num_tiles

@@ -207,6 +207,12 @@ def _load_slice(slc, snap: Dict) -> None:
 def _dump_network(network) -> Dict:
     if isinstance(network, FunctionalNetwork):
         return {"functional": True}
+    if getattr(network, "engine_kind", "event") != "event":
+        # ensure_warm_state always builds the warm phase on the event
+        # reference engine; capturing from another backend would bake
+        # its statistical divergences into a shared warm image.
+        raise SimulationError(
+            "warm-state capture requires the event NoC engine")
     network.flush_stat_batches()
     for router in network.routers:
         for port in router.output_ports:
@@ -238,6 +244,19 @@ def _load_network(network, snap: Dict, cycle: int) -> None:
         # Functional warm image: the detailed fabric starts cold; only
         # anchor the deadlock watchdog at the restore cycle.
         network._last_progress = cycle
+        return
+    if getattr(network, "engine_kind", "event") == "array":
+        # The array backend shares the event engine's flat accounting
+        # layouts, so an event-built warm image restores directly; the
+        # per-router stats and port counters have no array analogue (it
+        # keeps no router objects) and are dropped.
+        network.stats.restore_state(snap["stats"])
+        if len(network._traffic_flits) == len(snap["traffic_flits"]):
+            network._traffic_flits[:] = snap["traffic_flits"]
+        if len(network._link_load) == len(snap["link_load"]):
+            network._link_load[:] = snap["link_load"]
+        network._last_progress = snap["last_progress"]
+        network._ni_rr[:] = snap["rr_vnet"]
         return
     network.stats.restore_state(snap["stats"])
     for router, rsnap in zip(network.routers, snap["router_stats"]):

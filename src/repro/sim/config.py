@@ -148,7 +148,8 @@ def make_params(config: str = "baseline", num_cores: int = 16,
                 max_outstanding: int = 16,
                 topology: str = "mesh",
                 shape: Optional[str] = None,
-                concentration: int = 4) -> SystemParams:
+                concentration: int = 4,
+                engine: str = "event") -> SystemParams:
     """Build the full parameter set for a named configuration.
 
     ``l2_kb``/``llc_slice_kb`` support the Fig. 19 cache sweep and the
@@ -156,7 +157,9 @@ def make_params(config: str = "baseline", num_cores: int = 16,
     supports the Fig. 18 link-width sweep.  ``topology`` selects the
     interconnect fabric (mesh/torus/ring/cmesh), ``shape`` pins an
     explicit ``"RxC"`` tile grid, and ``concentration`` sets the tiles
-    per router under ``cmesh``.
+    per router under ``cmesh``.  ``engine`` picks the NoC backend: the
+    ``"event"`` reference or the vectorized ``"array"`` engine for
+    large-fabric sweeps.
     """
     if config not in CONFIG_NAMES:
         raise ConfigError(
@@ -164,7 +167,8 @@ def make_params(config: str = "baseline", num_cores: int = 16,
     rows, cols = mesh_shape(num_cores, shape)
     return SystemParams(
         noc=NoCParams(rows=rows, cols=cols, link_bits=link_bits,
-                      topology=topology, concentration=concentration),
+                      topology=topology, concentration=concentration,
+                      engine=engine),
         core=CoreParams(max_outstanding=max_outstanding),
         l1=CacheParams(size_bytes=l1_kb * 1024, assoc=8, hit_latency=2,
                        mshrs=8),

@@ -187,6 +187,9 @@ def collect_result(system, workload: str, config: str,
     topology_kind = system.network.topology.kind
     if topology_kind != "mesh":
         extra["topology"] = topology_kind
+    engine = getattr(system.network, "engine_kind", "event")
+    if engine != "event":
+        extra["engine"] = engine
     return SimResult(
         config=config,
         workload=workload,

@@ -89,11 +89,19 @@ def ensure_warm_state(workload: str, config: str, params: SystemParams,
     returned state into a fresh detailed system, so both paths execute
     identically.
     """
+    from dataclasses import replace
+
     from repro.sim.checkpoint import (CheckpointStore, capture_state,
                                       checkpoint_key)
 
     if warmup_mode not in ("detailed", "functional"):
         raise ValueError(f"unknown warmup_mode {warmup_mode!r}")
+    # Warm state is always built on the event reference engine: capture
+    # requires its quiesce invariants, and keying the image off the
+    # engine knob would needlessly split checkpoints that restore into
+    # either backend.
+    if params.noc.engine != "event":
+        params = replace(params, noc=replace(params.noc, engine="event"))
     store = checkpoint if checkpoint is not None else CheckpointStore()
     key = checkpoint_key(params, workload, num_cores, seed, wl_kwargs,
                          warmup_barriers, warmup_mode)

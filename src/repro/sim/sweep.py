@@ -60,8 +60,11 @@ from repro.sim.results import SimResult
 #: now part of the contract the cache key must cover.  4: the key now
 #: covers the measurement window (``warmup_barriers``/``warmup_mode``),
 #: fixing a latent aliasing bug where a windowed (measured-region) run
-#: could replay a cached full-run record or vice versa.
-CACHE_SCHEMA_VERSION = 4
+#: could replay a cached full-run record or vice versa.  5: params
+#: gained the NoC ``engine`` selector (event vs array backend) — the
+#: backends are statistically, not bit-, equivalent, so records from
+#: before the field existed must not alias either engine's results.
+CACHE_SCHEMA_VERSION = 5
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"

@@ -63,6 +63,15 @@ class System:
         self.functional_noc = functional_noc
         if functional_noc:
             self.network = FunctionalNetwork(params.noc, self.scheduler)
+        elif params.noc.engine == "array":
+            # Imported lazily: the array backend pulls in numpy, which
+            # event-engine runs never need to pay for.
+            from repro.noc.arrayengine import ArrayNetwork
+            self.network = ArrayNetwork(
+                params.noc, self.scheduler,
+                filter_enabled=push.pushes and push.network_filter
+                and push.mode != "msp",
+                ordered_pushes=push.mode == "ordpush")
         else:
             self.network = Network(
                 params.noc, self.scheduler,

@@ -153,8 +153,8 @@ class TestResultCache:
 
 class TestTraceSharing:
     def test_schema_version_bumped_for_warmup_keys(self) -> None:
-        """v4 adds the measurement window to every point's identity."""
-        assert CACHE_SCHEMA_VERSION == 4
+        """v5 adds the NoC engine selector to every point's identity."""
+        assert CACHE_SCHEMA_VERSION == 5
 
     def test_sweep_builds_each_trace_once(self, tmp_path,
                                           monkeypatch) -> None:
