@@ -1,6 +1,6 @@
 """Simulator-throughput microbenchmarks (``BENCH_simperf.json``).
 
-Five measurements:
+Six measurements:
 
 * **hot_path cycles/sec** — wall-clock throughput of a mid-size
   streaming run whose profile is dominated by the NoC (router ticks and
@@ -10,6 +10,11 @@ Five measurements:
   exists for; it self-regresses against its own committed record, so
   slowdowns in the vectorized passes fail CI even though the event
   engine never executes them;
+* **coherence_64c cycles/sec** — an L2-resident 64-core point on the
+  array engine where, after the warm pass, almost every cycle belongs
+  to the cores alone; the number the batched coherence fast path
+  (``repro.cpu.fastpath``) moves, measured end to end through both
+  vectorized backends;
 * **cache_path cycles/sec** — the same measurement on an L2-resident
   shared-read point where the coherence/cache/CPU layer (protocol
   handlers, SRAM probes, the prefetch path, trace replay) dominates and
@@ -117,6 +122,35 @@ def test_big_fabric_cycles_per_second() -> None:
         "cycles_per_sec": round(cycles_per_sec, 1),
     }})
     print(f"\nbig fabric: {result.cycles} cycles in {elapsed:.2f}s "
+          f"({cycles_per_sec:,.0f} cycles/s)")
+    assert result.extra.get("engine") == "array"
+    assert result.cycles > 0 and elapsed > 0
+
+
+def test_coherence_64c_cycles_per_second() -> None:
+    """Fast-path throughput on a big-fabric L2-resident point.
+
+    ``array_lines=384`` fits the bench-profile private L2 at 64 cores,
+    so after the warm pass nearly every cycle is private-cache hits —
+    the regime the batched coherence fast path (bucket-owned stepping,
+    inline hit retirement) exists for.  Runs on the array engine so the
+    measurement composes the two vectorized backends the way the
+    large-fabric sweeps do.
+    """
+    start = time.perf_counter()
+    result = run_workload("cachebw", "ordpush", num_cores=64, seed=1,
+                          engine="array", array_lines=384, iters=4,
+                          **bench_kwargs())
+    elapsed = time.perf_counter() - start
+    cycles_per_sec = result.cycles / elapsed
+    _write_record({"coherence_64c": {
+        "workload": "cachebw/ordpush/64c (array engine, L2-resident)",
+        "engine": "array",
+        "simulated_cycles": result.cycles,
+        "wall_seconds": round(elapsed, 4),
+        "cycles_per_sec": round(cycles_per_sec, 1),
+    }})
+    print(f"\ncoherence 64c: {result.cycles} cycles in {elapsed:.2f}s "
           f"({cycles_per_sec:,.0f} cycles/s)")
     assert result.extra.get("engine") == "array"
     assert result.cycles > 0 and elapsed > 0

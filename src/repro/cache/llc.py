@@ -200,6 +200,40 @@ class LLCSlice:
         event.msg = msg
         self.scheduler.at(start + latency, event)
 
+    def deliver_batch(self, msgs: List[CoherenceMsg]) -> None:
+        """Batched directory-read entry: ``deliver`` over a same-cycle
+        ejection burst (the coherence fast path's miss residue).
+
+        Decision-for-decision identical to calling :meth:`deliver` per
+        message in list order; the pipeline-slot bookkeeping, pool and
+        counter lookups are hoisted out of the loop.
+        """
+        now = self.scheduler.now
+        next_free = self._next_free
+        latency = self.params.llc_slice.hit_latency
+        pool = self._lookup_pool
+        eject = self._c_eject
+        data_flits = self._data_flits
+        coalesce = self._coalesce
+        coalescing = self._coalescing
+        scheduler_at = self.scheduler.at
+        for msg in msgs:
+            flits = data_flits if msg.carries_data else 1
+            eject[msg.traffic_class].value += flits
+            if coalesce and msg.msg_type is MsgType.GETS:
+                if msg.line_addr in coalescing:
+                    coalescing[msg.line_addr].append(msg.src)
+                    self._c_coalesced_requests.value += 1
+                    recycle_msg(msg)
+                    continue
+                coalescing[msg.line_addr] = []
+            start = next_free if next_free > now else now
+            next_free = start + 1
+            event = pool.pop() if pool else _Lookup(self)
+            event.msg = msg
+            scheduler_at(start + latency, event)
+        self._next_free = next_free
+
     # ------------------------------------------------------------------
     # per-line serialization
     # ------------------------------------------------------------------

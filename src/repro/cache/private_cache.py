@@ -56,7 +56,8 @@ class PrivateCache:
                  scheduler: Scheduler,
                  send: Callable[[CoherenceMsg], None],
                  home_of: Callable[[int], int],
-                 stats: Optional[StatGroup] = None) -> None:
+                 stats: Optional[StatGroup] = None,
+                 backing=None) -> None:
         self.tile = tile
         self.params = params
         self.scheduler = scheduler
@@ -65,8 +66,13 @@ class PrivateCache:
         self._data_flits = params.noc.data_packet_flits
         self._l1_hit_cycles = params.core.l1_hit_cycles
         self._l2_hit_latency = params.l2.hit_latency
+        # ``backing`` is the tile's L2 arena-row triple from
+        # repro.cpu.fastpath.FastpathArena: the batched stepper's
+        # vectorized probe reads the very storage the scalar
+        # controllers mutate, so nothing needs mirroring.  The L1 is
+        # never arena-backed (see FastpathArena's docstring).
         self.l1 = CacheArray(params.l1)
-        self.l2 = CacheArray(params.l2)
+        self.l2 = CacheArray(params.l2, backing=backing)
         # Bound slot probes (the dicts are created once and mutated in
         # place, so the bound methods stay valid for the cache lifetime).
         self._l1_slot_get = self.l1._slot_of.get
@@ -494,7 +500,7 @@ class PrivateCache:
         l1 = self.l1
         if line_addr in l1._slot_of:
             return
-        l1.evict_flat(line_addr)  # L1 is write-through: silent eviction
+        l1.evict_silent(line_addr)  # L1 is write-through
         l1.install_flat(line_addr, PRIV_S)
 
     # ------------------------------------------------------------------

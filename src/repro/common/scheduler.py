@@ -194,6 +194,45 @@ class Scheduler:
                 bucket.clear()
                 bucket_cycle[index] = _FREE
 
+    def peek_bucket(self, cycle: int) -> Optional[List[Callable[[], None]]]:
+        """The wheel bucket owned by ``cycle``, or None.
+
+        Returns None when ``cycle`` owns no in-window bucket *or* when
+        any overflow event is due at or before ``cycle`` — overflow
+        entries precede wheel entries in scheduling order, so a caller
+        that would bypass them must fall back to :meth:`run_due`.  The
+        bucket is returned live and unmodified; callers must not mutate
+        it (use :meth:`consume_bucket` to claim it).
+        """
+        overflow = self._overflow
+        if overflow and overflow[0][0] <= cycle:
+            return None
+        index = cycle & _MASK
+        if self._bucket_cycle[index] != cycle:
+            return None
+        return self._buckets[index]
+
+    def consume_bucket(self, cycle: int) -> List[Callable[[], None]]:
+        """Claim ``cycle``'s bucket: advance ``now``, detach and return it.
+
+        The batched stepper's half of :meth:`run_due`: the caller takes
+        responsibility for executing every returned callback, in list
+        order.  Events the callbacks schedule for the same cycle land in
+        a fresh bucket at the same index (the tag is freed here), which
+        preserves run_due's FIFO contract — drained after the detached
+        list, in scheduling order.  Only valid right after
+        :meth:`peek_bucket` returned this bucket.
+        """
+        if cycle < self.now:
+            raise SimulationError("scheduler time must not go backwards")
+        self.now = cycle
+        index = cycle & _MASK
+        bucket = self._buckets[index]
+        self._buckets[index] = []
+        self._bucket_cycle[index] = _FREE
+        self._pending -= len(bucket)
+        return bucket
+
     @property
     def pending(self) -> int:
         return self._pending

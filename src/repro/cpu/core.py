@@ -267,3 +267,13 @@ class Core:
     def mpki_denominator(self) -> float:
         """Kilo-instructions executed so far."""
         return max(self.instructions / 1000.0, 1e-9)
+
+
+# Fast-path ownership tags (repro.cpu.fastpath): a scheduler bucket whose
+# every event carries a nonzero ``_fp_kind`` is wholly core activity and
+# may be executed by the batched stepper.  Bound methods forward attribute
+# reads to the underlying function, so tagging here covers every instance.
+# The generic trace-replay ``_step`` is deliberately untagged — only
+# buffer-backed cores participate.
+Core._on_complete._fp_kind = 1
+Core._step_buffered._fp_kind = 2

@@ -80,42 +80,74 @@ _INV = MsgType.INV
 class ArrayInterface:
     """Per-tile endpoint: the ejection hook and tile id the system wires."""
 
-    __slots__ = ("tile", "network", "eject_hook")
+    __slots__ = ("tile", "network", "eject_hook", "eject_batch_hook")
 
     def __init__(self, tile: int, network: "ArrayNetwork") -> None:
         self.tile = tile
         self.network = network
         self.eject_hook: Optional[Callable[[CoherenceMsg], None]] = None
+        #: optional bulk twin: receives the full same-cycle ejection
+        #: burst as one list (wired by System to its batch dispatcher)
+        self.eject_batch_hook: Optional[
+            Callable[[List[CoherenceMsg]], None]] = None
 
     def inject(self, msg: CoherenceMsg) -> None:
         self.network.send(msg)
 
 
 class _Eject:
-    """Pooled event: deliver one fully-arrived packet to its tile."""
+    """Pooled event: deliver one tile's same-cycle ejection burst.
 
-    __slots__ = ("net", "tile", "pix", "packet")
+    One event per (cycle, tile) rather than per packet: arrivals that
+    land together are delivered together — through the interface's
+    ``eject_batch_hook`` when several arrive (one hook call, one
+    dispatch loop, batched LLC pipeline bookkeeping downstream), else
+    the ordinary per-message hook.  Bookkeeping per packet is identical
+    to the former one-event-per-packet scheme.
+    """
+
+    __slots__ = ("net", "tile", "key", "pixs", "packets")
 
     def __init__(self, net: "ArrayNetwork") -> None:
         self.net = net
         self.tile = 0
-        self.pix = -1
-        self.packet: Optional[Packet] = None
+        self.key = -1
+        self.pixs: List[int] = []
+        self.packets: List[Packet] = []
 
     def __call__(self) -> None:
         net = self.net
-        packet, self.packet = self.packet, None
-        net.inflight -= 1
-        net._c_packets_ejected.value += 1
+        del net._eject_open[self.key]
+        packets = self.packets
+        pixs = self.pixs
+        count = len(packets)
+        net.inflight -= count
+        net._c_packets_ejected.value += count
+        now = net.scheduler.now
         batch = net._latency_batch
-        batch.append(net.scheduler.now - packet.injected_at)
+        for packet in packets:
+            batch.append(now - packet.injected_at)
         if len(batch) >= 1024:
             net.flush_stat_batches()
-        net._free_packet(self.pix)
-        hook = net.interfaces[self.tile].eject_hook
-        if hook is not None:
-            hook(packet.msg)
+        free = net._free_packet
+        for pix in pixs:
+            free(pix)
+        msgs = [packet.msg for packet in packets]
+        iface = net.interfaces[self.tile]
+        pixs.clear()
+        packets.clear()
+        # The event is reusable from here on; recycle before the hook
+        # so reentrant sends during delivery can pool-pop it safely.
         net._eject_pool.append(self)
+        if count > 1:
+            batch_hook = iface.eject_batch_hook
+            if batch_hook is not None:
+                batch_hook(msgs)
+                return
+        hook = iface.eject_hook
+        if hook is not None:
+            for msg in msgs:
+                hook(msg)
 
 
 class _Register:
@@ -313,6 +345,9 @@ class ArrayNetwork:
 
         # ---- event pools, stats, run-loop state ----------------------
         self._eject_pool: List[_Eject] = []
+        #: open (cycle * num_tiles + tile) -> _Eject batches still
+        #: accepting arrivals; entries remove themselves on fire
+        self._eject_open: Dict[int, _Eject] = {}
         self._reg_pool: List[_Register] = []
         self._lookup_pool: List[_Lookup] = []
         self._dereg_pool: List[_Deregister] = []
@@ -543,12 +578,18 @@ class ArrayNetwork:
 
     def _schedule_eject(self, tile: int, pix: int, packet: Packet,
                         cycle: int) -> None:
-        pool = self._eject_pool
-        event = pool.pop() if pool else _Eject(self)
-        event.tile = tile
-        event.pix = pix
-        event.packet = packet
-        self.scheduler.at(cycle, event)
+        key = cycle * self._num_tiles + tile
+        open_ejects = self._eject_open
+        event = open_ejects.get(key)
+        if event is None:
+            pool = self._eject_pool
+            event = pool.pop() if pool else _Eject(self)
+            event.tile = tile
+            event.key = key
+            open_ejects[key] = event
+            self.scheduler.at(cycle, event)
+        event.pixs.append(pix)
+        event.packets.append(packet)
 
     # ------------------------------------------------------------------
     # per-cycle passes

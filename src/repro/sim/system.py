@@ -35,6 +35,7 @@ from repro.cache.llc import LLCSlice
 from repro.cache.memory import MemoryController
 from repro.cache.private_cache import PrivateCache
 from repro.cpu.core import Barrier, Core
+from repro.cpu.fastpath import fastpath_enabled, make_arena
 from repro.cpu.traces import TraceRecord
 from repro.noc.functional import FunctionalNetwork
 from repro.noc.network import Network
@@ -91,21 +92,42 @@ class System:
             for tile in range(params.num_cores)
         ]
 
+        # Batched coherence fast path (repro.cpu.fastpath): a stepper
+        # built lazily once every core is buffer-backed, plus — on
+        # fabrics big enough for the vectorized probe pass to engage —
+        # cross-core SRAM arenas whose rows back each private cache's
+        # storage.  Prefetcher configs opt out — a prefetcher trains on
+        # every demand access, so nothing would classify as a clean hit
+        # and the classification pass would be pure overhead.
+        self._stepper = None
+        self._fp_arena = None
+        self._fp_eligible = fastpath_enabled() and not params.prefetch.enabled
+        if self._fp_eligible:
+            self._fp_arena = make_arena(params)
+
         self.caches: List[PrivateCache] = []
         self.slices: List[LLCSlice] = []
         self.memories: Dict[int, MemoryController] = {}
         for tile in range(params.num_cores):
             cache = PrivateCache(
                 tile, params, self.scheduler, self.network.send,
-                self._home_of, stats=self.stats.child(f"l2_{tile}"))
+                self._home_of, stats=self.stats.child(f"l2_{tile}"),
+                backing=(self._fp_arena.backing(tile)
+                         if self._fp_arena is not None else None))
             llc = LLCSlice(
                 tile, params, self.scheduler, self.network.send,
                 self._home_of, self._mem_ctrl_of, self.versions,
                 stats=self.stats.child(f"llc_{tile}"))
             self.caches.append(cache)
             self.slices.append(llc)
-            self.network.interface(tile).eject_hook = (
-                lambda msg, t=tile: self._dispatch(t, msg))
+            iface = self.network.interface(tile)
+            iface.eject_hook = lambda msg, t=tile: self._dispatch(t, msg)
+            try:
+                iface.eject_batch_hook = (
+                    lambda msgs, t=tile: self._dispatch_batch(t, msgs))
+            except AttributeError:
+                pass  # engines without batched ejection keep the per-
+                # message hook; slotted interfaces reject the attribute
             if params.prefetch.enabled:
                 cache.prefetcher = PrefetchUnit(
                     params.prefetch,
@@ -144,6 +166,34 @@ class System:
             controller.deliver(msg)
         else:
             raise SimulationError(f"unroutable message {msg}")
+
+    def _dispatch_batch(self, tile: int, msgs: List[CoherenceMsg]) -> None:
+        """Deliver a same-cycle, same-tile ejection batch in list order.
+
+        Consecutive LLC-bound messages (the directory-read residue of
+        the coherence fast path) go through ``LLCSlice.deliver_batch``,
+        which amortizes the pipeline-slot bookkeeping; everything else
+        takes the ordinary per-message dispatch.  Decisions and order
+        are identical to ``for msg in msgs: self._dispatch(tile, msg)``.
+        """
+        llc_bound = _LLC_BOUND
+        run: List[CoherenceMsg] = []
+        for msg in msgs:
+            if msg.msg_type in llc_bound:
+                run.append(msg)
+                continue
+            if run:
+                if len(run) > 1:
+                    self.slices[tile].deliver_batch(run)
+                else:
+                    self.slices[tile].deliver(run[0])
+                run = []
+            self._dispatch(tile, msg)
+        if run:
+            if len(run) > 1:
+                self.slices[tile].deliver_batch(run)
+            else:
+                self.slices[tile].deliver(run[0])
 
     def _on_request_filtered(self, msg: CoherenceMsg) -> None:
         self.caches[msg.src].note_request_filtered(msg.line_addr)
@@ -191,6 +241,71 @@ class System:
         for core in self.cores:
             core.start()
 
+    def _ensure_stepper(self) -> None:
+        """Build the batched stepper once every core is buffer-backed."""
+        if (self._stepper is None and self._fp_eligible
+                and fastpath_enabled() and self.cores
+                and all(core._buf is not None for core in self.cores)):
+            from repro.cpu.fastpath import BatchedStepper
+            self._stepper = BatchedStepper(self)
+
+    def _idle_error(self, phase: str) -> None:
+        """Raise the phase-appropriate error for an event-free system."""
+        if phase == "warmup":
+            if self.all_finished or any(
+                    core.finished for core in self.cores):
+                raise ConfigError(
+                    f"trace ended before warmup barrier "
+                    f"{self._warmup_barriers}: the workload has too "
+                    f"few barriers for this warmup window")
+            raise SimulationError(
+                "system idle before reaching the held barrier "
+                "(protocol hang)")
+        raise SimulationError(
+            "system idle with unfinished cores (protocol hang)")
+
+    def _advance(self, cycle: int, max_cycles: int, phase: str,
+                 overrun: str) -> int:
+        """One event-loop iteration shared by run/run_to_quiesce/_drain.
+
+        Jumps to the earliest of the next scheduler event, the
+        network's next possible work cycle, and — while packets are in
+        flight — the deadlock watchdog's deadline (so the watchdog
+        still trips at the exact cycle the per-cycle simulator would
+        have raised).  When the jump lands exactly on a scheduler
+        event with no network work due, the batched stepper may drain
+        the cycle in bulk; every other cycle takes the scalar
+        ``run_due``.  The two are bit-identical by construction.
+        """
+        scheduler = self.scheduler
+        network = self.network
+        next_event = scheduler.next_event_cycle()
+        target = next_event if next_event is not None else NEVER
+        work = network.next_work_cycle()
+        if work < target:
+            target = work
+        if network.active:
+            deadline = network.watchdog_deadline()
+            if deadline < target:
+                target = deadline
+        elif target >= NEVER:
+            if phase == "drain":
+                # Unreachable: _drain's loop condition guarantees
+                # pending events or network activity, either of which
+                # yields a finite target.
+                raise SimulationError("drain idle with pending work")
+            self._idle_error(phase)
+        cycle = max(cycle + 1, target)
+        if cycle > max_cycles:
+            raise SimulationError(overrun)
+        stepper = self._stepper
+        if stepper is not None and cycle == next_event and work > cycle:
+            stepper.run_cycle(cycle)
+        else:
+            scheduler.run_due(cycle)
+        network.tick(cycle)
+        return cycle
+
     def run_to_quiesce(self, warmup_barriers: int,
                        max_cycles: int = 100_000_000) -> int:
         """Run to the ``warmup_barriers``-th barrier crossing and drain.
@@ -215,41 +330,20 @@ class System:
                 "(build the workload via build_trace_buffers)")
         barrier = self.cores[0].barrier
         barrier.hold_at = warmup_barriers
+        self._warmup_barriers = warmup_barriers
         self._start_cores()
+        self._ensure_stepper()
         scheduler = self.scheduler
         network = self.network
         cycle = scheduler.now
+        overrun = f"warmup exceeded max_cycles={max_cycles}"
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
             while not (barrier.held is not None and not network.active
                        and not scheduler.pending):
-                next_event = scheduler.next_event_cycle()
-                target = next_event if next_event is not None else NEVER
-                work = network.next_work_cycle()
-                if work < target:
-                    target = work
-                if network.active:
-                    deadline = network.watchdog_deadline()
-                    if deadline < target:
-                        target = deadline
-                elif target >= NEVER:
-                    if self.all_finished or any(
-                            core.finished for core in self.cores):
-                        raise ConfigError(
-                            f"trace ended before warmup barrier "
-                            f"{warmup_barriers}: the workload has too "
-                            f"few barriers for this warmup window")
-                    raise SimulationError(
-                        "system idle before reaching the held barrier "
-                        "(protocol hang)")
-                cycle = max(cycle + 1, target)
-                if cycle > max_cycles:
-                    raise SimulationError(
-                        f"warmup exceeded max_cycles={max_cycles}")
-                scheduler.run_due(cycle)
-                network.tick(cycle)
+                cycle = self._advance(cycle, max_cycles, "warmup", overrun)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -272,14 +366,14 @@ class System:
         if not self.cores:
             raise ConfigError("attach_workload() before run()")
         self._start_cores()
+        self._ensure_stepper()
         barrier = self.cores[0].barrier
         if barrier is not None and barrier.held is not None:
             # Continuing past a quiesced warmup hold (the in-process
             # twin of a checkpoint restore).
             barrier.release_held()
-        scheduler = self.scheduler
-        network = self.network
-        cycle = scheduler.now
+        cycle = self.scheduler.now
+        overrun = f"exceeded max_cycles={max_cycles}"
         # Simulation objects die by refcount (no reference cycles on the
         # hot path), so the cyclic collector only adds pauses; park it
         # for the run and restore the caller's setting afterwards.
@@ -288,24 +382,7 @@ class System:
             gc.disable()
         try:
             while not self.all_finished:
-                next_event = scheduler.next_event_cycle()
-                target = next_event if next_event is not None else NEVER
-                work = network.next_work_cycle()
-                if work < target:
-                    target = work
-                if network.active:
-                    deadline = network.watchdog_deadline()
-                    if deadline < target:
-                        target = deadline
-                elif target >= NEVER:
-                    raise SimulationError(
-                        "system idle with unfinished cores (protocol hang)")
-                cycle = max(cycle + 1, target)
-                if cycle > max_cycles:
-                    raise SimulationError(
-                        f"exceeded max_cycles={max_cycles}")
-                scheduler.run_due(cycle)
-                network.tick(cycle)
+                cycle = self._advance(cycle, max_cycles, "run", overrun)
             finish = max(core.finish_cycle for core in self.cores)
             if drain:
                 self._drain(max_cycles)
@@ -319,17 +396,5 @@ class System:
         network = self.network
         cycle = scheduler.now
         while network.active or scheduler.pending:
-            next_event = scheduler.next_event_cycle()
-            target = next_event if next_event is not None else NEVER
-            work = network.next_work_cycle()
-            if work < target:
-                target = work
-            if network.active:
-                deadline = network.watchdog_deadline()
-                if deadline < target:
-                    target = deadline
-            cycle = max(cycle + 1, target)
-            if cycle > max_cycles:
-                raise SimulationError("drain exceeded max_cycles")
-            scheduler.run_due(cycle)
-            network.tick(cycle)
+            cycle = self._advance(cycle, max_cycles, "drain",
+                                  "drain exceeded max_cycles")
