@@ -12,8 +12,11 @@ Main subcommands::
 ``run`` executes one (workload, config) cell and prints the full result
 record; ``compare`` sweeps configurations on one workload and prints a
 normalized table; ``sweep`` fans a (config x seed) grid out over worker
-processes through the on-disk result cache; ``cache`` inspects and
-garbage-collects the on-disk cache tree; ``list`` shows the workload
+processes through the on-disk result cache; ``cache`` inspects,
+garbage-collects, and synchronizes the on-disk cache tree (``cache
+push --remote PATH`` / ``cache pull --remote PATH`` move entries and
+only the missing content-addressed objects between two roots; ``cache
+migrate`` adopts a pre-unification tree); ``list`` shows the workload
 catalogue and the named configurations.
 
 ``run``/``compare``/``sweep`` accept ``--warmup-barriers N`` (and
@@ -234,6 +237,7 @@ def _format_bytes(size: int) -> str:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.sim.cachemgmt import cache_gc, cache_root, cache_stats
+    from repro.store import Store, pull, push
 
     root = cache_root(args.dir)
     if args.cache_command == "stats":
@@ -244,11 +248,35 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"{section:14s}{row['entries']:9d}"
                   f"{_format_bytes(row['bytes']):>14s}")
         return 0
-    report = cache_gc(args.max_bytes, root)
-    print(f"cache root: {root}")
-    print(f"removed {report['removed']} entries "
-          f"({_format_bytes(report['removed_bytes'])}); "
-          f"{_format_bytes(report['remaining_bytes'])} remain")
+    if args.cache_command == "gc":
+        report = cache_gc(args.max_bytes, root)
+        print(f"cache root: {root}")
+        print(f"removed {report['removed']} entries "
+              f"({_format_bytes(report['removed_bytes'])}); "
+              f"{_format_bytes(report['remaining_bytes'])} remain")
+        return 0
+    if args.cache_command == "migrate":
+        report = Store(root).migrate()
+        print(f"cache root: {root}")
+        for section, count in report.items():
+            if section != "total":
+                print(f"  {section:14s}{count:6d} adopted")
+        print(f"adopted {report['total']} legacy entries into the "
+              "object store")
+        return 0
+    # push / pull: index diff + missing-object transfer between roots
+    sync = push if args.cache_command == "push" else pull
+    try:
+        report = sync(Store(root), args.remote)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    arrow = "->" if args.cache_command == "push" else "<-"
+    print(f"cache root: {root} {arrow} {args.remote}")
+    print(f"{'section':14s}{'entries':>9s}{'objects':>9s}{'bytes':>14s}")
+    for section, row in report.items():
+        print(f"{section:14s}{row['entries']:9d}{row['objects']:9d}"
+              f"{_format_bytes(row['bytes']):>14s}")
     return 0
 
 
@@ -377,6 +405,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cache root (default REPRO_CACHE_DIR or "
                            ".repro_cache)")
     gc_p.set_defaults(func=_cmd_cache)
+    for verb, blurb in (("push", "copy local entries and missing "
+                                 "objects to a remote store"),
+                        ("pull", "fetch a remote store's entries and "
+                                 "missing objects")):
+        sync_p = cache_sub.add_parser(
+            verb, help=f"{blurb} (only objects the other side lacks "
+                       "are transferred)")
+        sync_p.add_argument("--remote", required=True, metavar="PATH",
+                            help="remote store root: a path, or a "
+                                 "file:// URL")
+        sync_p.add_argument("--dir", default=None,
+                            help="local cache root (default "
+                                 "REPRO_CACHE_DIR or .repro_cache)")
+        sync_p.set_defaults(func=_cmd_cache)
+    migrate_p = cache_sub.add_parser(
+        "migrate", help="adopt a pre-unification cache tree into the "
+                        "object/index layout in one pass")
+    migrate_p.add_argument("--dir", default=None,
+                           help="cache root (default REPRO_CACHE_DIR "
+                                "or .repro_cache)")
+    migrate_p.set_defaults(func=_cmd_cache)
 
     list_p = sub.add_parser("list", help="show workloads and configs")
     list_p.set_defaults(func=_cmd_list)

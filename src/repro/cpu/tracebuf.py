@@ -15,13 +15,13 @@ other columns are zero on a barrier row.
 
 :class:`TraceCache` stores compiled buffers in two layers: an
 in-process memo keyed by the trace's content hash, and (unless
-``REPRO_NO_CACHE`` is set) on-disk files under
-``<cache root>/traces/`` — the same root as the sweep's result cache
-(``.repro_cache/``, relocatable with ``REPRO_CACHE_DIR``) — so sweep
-worker processes and later sessions share one compilation per point.
-Serialization is a fixed little-endian layout, so the same
-``(workload, num_cores, seed, sizes)`` produces byte-identical files
-across processes; corrupt or truncated files are treated as misses.
+``REPRO_NO_CACHE`` is set) the unified content-addressed store's
+``traces`` index (:mod:`repro.store`) — the same root as the sweep's
+result cache (``.repro_cache/``, relocatable with ``REPRO_CACHE_DIR``)
+— so sweep worker processes and later sessions share one compilation
+per point.  Serialization is a fixed little-endian layout, so the same
+``(workload, num_cores, seed, sizes)`` produces byte-identical objects
+across processes; corrupt or truncated entries are treated as misses.
 """
 
 from __future__ import annotations
@@ -32,15 +32,14 @@ import json
 import os
 import struct
 import sys
-import tempfile
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.cpu.traces import BARRIER, MemAccess, TraceRecord
+from repro.store import TRACE_SCHEMA_VERSION, Store
 
-#: Bump whenever buffer layout or compilation semantics change; stale
-#: on-disk buffers become unreachable under the new version.
-TRACE_SCHEMA_VERSION = 1
+__all__ = ["TRACE_SCHEMA_VERSION", "TraceBuffer", "TraceCache",
+           "dump_buffers", "load_buffers", "trace_key", "concat_columns"]
 
 _MAGIC = b"RTB1"
 _COLUMNS = ("addr", "is_write", "work", "insts", "pc")
@@ -190,19 +189,20 @@ class TraceCache:
         self.memo_hits = 0
         self.disk_hits = 0
 
-    def _dir(self) -> Optional[Path]:
-        """The on-disk layer's directory, or None when disabled."""
+    def _store(self) -> Optional[Store]:
+        """The on-disk layer, or None when disabled.
+
+        Resolved per call so tests can repoint ``REPRO_CACHE_DIR`` or
+        flip ``REPRO_NO_CACHE`` after the cache object exists.
+        """
         if os.environ.get("REPRO_NO_CACHE"):
             return None
-        root = self._root
-        if root is None:
-            # Resolved per call so tests can repoint REPRO_CACHE_DIR.
-            root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-        return Path(root) / "traces"
+        return Store(self._root)
 
     def path_for(self, key: str) -> Optional[Path]:
-        directory = self._dir()
-        return None if directory is None else directory / f"{key}.bin"
+        """The index entry file for ``key`` (None when disk is off)."""
+        store = self._store()
+        return None if store is None else store.index("traces").entry_path(key)
 
     def get_or_build(self, key: str,
                      build: Callable[[], List[TraceBuffer]]
@@ -212,12 +212,14 @@ class TraceCache:
         if buffers is not None:
             self.memo_hits += 1
             return buffers
-        path = self.path_for(key)
-        if path is not None:
-            try:
-                buffers = load_buffers(path.read_bytes())
-            except (OSError, ValueError):
-                buffers = None
+        store = self._store()
+        if store is not None:
+            blob = store.index("traces").get_bytes(key)
+            if blob is not None:
+                try:
+                    buffers = load_buffers(blob)
+                except ValueError:
+                    buffers = None
             if buffers is not None:
                 self.disk_hits += 1
                 self.memo[key] = buffers
@@ -225,33 +227,16 @@ class TraceCache:
         buffers = build()
         self.builds += 1
         self.memo[key] = buffers
-        if path is not None:
-            self._persist(path, buffers)
+        if store is not None:
+            store.index("traces").put_bytes(key, dump_buffers(buffers))
         return buffers
-
-    @staticmethod
-    def _persist(path: Path, buffers: List[TraceBuffer]) -> None:
-        """Atomic write-to-temp-then-rename (racing workers are safe)."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(dump_buffers(buffers))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def clear(self) -> None:
         """Drop the memo and delete on-disk entries."""
         self.memo.clear()
-        directory = self._dir()
-        if directory is not None and directory.is_dir():
-            for path in directory.glob("*.bin"):
-                path.unlink(missing_ok=True)
+        store = self._store()
+        if store is not None:
+            store.index("traces").clear()
 
 
 def concat_columns(buffers: List[TraceBuffer], np):

@@ -1,64 +1,30 @@
 """Inspection and garbage collection for the ``.repro_cache/`` tree.
 
-The on-disk cache now has three sections — sweep results (root-level
-``*.json``), compiled trace buffers (``traces/*.bin``), and warm-state
-checkpoints (``ckpt/*.json.gz``) — and sweeps grow all three without
-bound.  ``repro.cli cache stats`` reports per-section entry counts and
-bytes; ``repro.cli cache gc --max-bytes N`` evicts least-recently-used
-entries (by file mtime, across all sections) until the tree fits.
+Thin delegation onto the unified content-addressed store
+(:mod:`repro.store`): ``repro.cli cache stats`` reports per-section
+entry counts and payload bytes, ``repro.cli cache gc --max-bytes N``
+evicts least-recently-used entries (by payload mtime, across all
+sections) until the tree fits.  Both walk the typed indexes *and* any
+not-yet-migrated pre-unification files, so the numbers on a legacy
+tree match what this module always reported.
 
-Cache entries are content-addressed and rebuilt on miss, so eviction is
-always safe — at worst a future run re-simulates or re-warms.
+Cache entries are content-addressed and rebuilt on miss, so eviction
+is always safe — at worst a future run re-simulates or re-warms.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Union
 
-#: section name -> (subdirectory relative to the cache root, glob)
-CACHE_SECTIONS = {
-    "results": ("", "*.json"),
-    "traces": ("traces", "*.bin"),
-    "checkpoints": ("ckpt", "*.json.gz"),
-}
+from repro.store import Store, cache_root
 
-
-def cache_root(root: Union[str, Path, None] = None) -> Path:
-    """The cache root (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
-    if root is None:
-        root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    return Path(root)
-
-
-def _section_files(root: Path) -> Dict[str, List[Path]]:
-    files: Dict[str, List[Path]] = {}
-    for section, (subdir, pattern) in CACHE_SECTIONS.items():
-        directory = root / subdir if subdir else root
-        files[section] = (sorted(directory.glob(pattern))
-                          if directory.is_dir() else [])
-    return files
+__all__ = ["cache_root", "cache_stats", "cache_gc"]
 
 
 def cache_stats(root: Union[str, Path, None] = None) -> Dict[str, Dict]:
     """Per-section ``{"entries": n, "bytes": n}`` plus a ``total`` row."""
-    base = cache_root(root)
-    stats: Dict[str, Dict] = {}
-    total_entries = 0
-    total_bytes = 0
-    for section, files in _section_files(base).items():
-        size = 0
-        for path in files:
-            try:
-                size += path.stat().st_size
-            except OSError:
-                continue
-        stats[section] = {"entries": len(files), "bytes": size}
-        total_entries += len(files)
-        total_bytes += size
-    stats["total"] = {"entries": total_entries, "bytes": total_bytes}
-    return stats
+    return Store(root).stats()
 
 
 def cache_gc(max_bytes: int,
@@ -69,31 +35,4 @@ def cache_gc(max_bytes: int,
     a freshly used result, whatever their kind.  Returns
     ``{"removed": n, "removed_bytes": n, "remaining_bytes": n}``.
     """
-    if max_bytes < 0:
-        raise ValueError("max_bytes must be >= 0")
-    base = cache_root(root)
-    entries: List[Tuple[float, int, Path]] = []
-    total = 0
-    for files in _section_files(base).values():
-        for path in files:
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-            total += stat.st_size
-    entries.sort(key=lambda item: (item[0], str(item[2])))
-    removed = 0
-    removed_bytes = 0
-    for mtime, size, path in entries:
-        if total <= max_bytes:
-            break
-        try:
-            path.unlink()
-        except OSError:
-            continue
-        total -= size
-        removed += 1
-        removed_bytes += size
-    return {"removed": removed, "removed_bytes": removed_bytes,
-            "remaining_bytes": total}
+    return Store(root).gc(max_bytes)

@@ -18,10 +18,12 @@ This module amortizes that cost:
   Continuing a restored system is bit-identical to continuing the
   original process past the hold (``tests/test_checkpoint.py`` enforces
   this across schemes and fabrics);
-* :class:`CheckpointStore` persists snapshots content-addressed under
-  ``.repro_cache/ckpt/`` keyed by (trace key, warm-relevant config
-  fields, warmup window, warming mode).  Corrupt or version-mismatched
-  entries fall back to a cold rebuild with a warning.
+* :class:`CheckpointStore` persists snapshots through the unified
+  content-addressed store's ``ckpt`` index (:mod:`repro.store`; gzip
+  codec, streaming compression) keyed by (trace key, warm-relevant
+  config fields, warmup window, warming mode).  Corrupt or
+  version-mismatched entries fall back to a cold rebuild with a
+  warning.
 
 Functional warming (``mode="functional"``) builds the warm state on the
 fixed-latency :class:`~repro.noc.functional.FunctionalNetwork`; its
@@ -31,14 +33,12 @@ across every topology/link-width variant of a scheme.
 
 from __future__ import annotations
 
-import gzip
 import hashlib
 import json
 import os
-import warnings
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.cache.coherence import DirState
 from repro.cache.sram import CacheArray
@@ -46,10 +46,7 @@ from repro.common.errors import SimulationError
 from repro.cpu.tracebuf import trace_key
 from repro.noc.functional import FunctionalNetwork
 from repro.sim.results import SimResult, collect_result
-
-#: bump when the snapshot layout changes; mismatched stored checkpoints
-#: are treated as misses (cold rebuild), never as errors
-CKPT_SCHEMA_VERSION = 1
+from repro.store import CKPT_SCHEMA_VERSION, Store, warn_fallback
 
 
 # ---------------------------------------------------------------------------
@@ -457,14 +454,38 @@ def measured_result(system, workload: str, config: str,
 # the on-disk store
 # ---------------------------------------------------------------------------
 
-class CheckpointStore:
-    """Content-addressed warm-state store under ``<cache root>/ckpt/``.
+def _json_chunks(state: Dict, chunk: int = 1 << 20) -> Iterator[str]:
+    """Canonical-JSON a snapshot in bounded string slices.
 
-    Follows the trace cache's conventions: honors ``REPRO_CACHE_DIR``
-    and ``REPRO_NO_CACHE`` (resolved per call), writes atomically via
-    temp-file rename, and treats unreadable, corrupt, or
-    version-mismatched entries as misses — with a warning — so a bad
-    checkpoint can only cost a cold rebuild, never a crash.
+    A 64-core snapshot serializes to many megabytes; feeding slices to
+    the store's streaming gzip writer keeps the compressed object from
+    ever sitting next to the full encoded text in memory.
+    """
+    encoder = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+    buffer = []
+    buffered = 0
+    for piece in encoder.iterencode(state):
+        buffer.append(piece)
+        buffered += len(piece)
+        if buffered >= chunk:
+            yield "".join(buffer)
+            buffer.clear()
+            buffered = 0
+    if buffer:
+        yield "".join(buffer)
+
+
+class CheckpointStore:
+    """Warm-state snapshots as a typed view over the unified store.
+
+    A thin wrapper around the store's ``ckpt`` index (gzip codec,
+    streaming compression): honors ``REPRO_CACHE_DIR`` and
+    ``REPRO_NO_CACHE`` (resolved per call), writes atomically, and
+    treats unreadable, corrupt, or version-mismatched entries as
+    misses — with a warning through the store's single fallback path —
+    so a bad checkpoint can only cost a cold rebuild, never a crash.
+    Pre-unification ``ckpt/<key>.json.gz`` files are migrated in place
+    on first lookup.
     """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
@@ -472,58 +493,54 @@ class CheckpointStore:
         self.hits = 0
         self.misses = 0
 
-    def _dir(self) -> Optional[Path]:
+    def _store(self) -> Optional[Store]:
         if os.environ.get("REPRO_NO_CACHE"):
             return None
-        root = self._root
-        if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-        return Path(root) / "ckpt"
+        return Store(self._root)
 
     def path_for(self, key: str) -> Optional[Path]:
-        directory = self._dir()
-        return None if directory is None else directory / f"{key}.json.gz"
+        """The index entry file for ``key`` (None when disabled)."""
+        store = self._store()
+        return None if store is None else store.index("ckpt").entry_path(key)
 
     def get(self, key: str) -> Optional[Dict]:
-        path = self.path_for(key)
-        if path is None or not path.exists():
+        store = self._store()
+        if store is None:
+            self.misses += 1
+            return None
+        data = store.index("ckpt").get_bytes(key)
+        if data is None:
             self.misses += 1
             return None
         try:
-            state = json.loads(gzip.decompress(path.read_bytes())
-                               .decode("utf-8"))
-        except (OSError, ValueError) as exc:
-            warnings.warn(
-                f"discarding corrupt checkpoint {path.name}: {exc}; "
-                "re-warming from cold", RuntimeWarning, stacklevel=2)
+            state = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            warn_fallback("ckpt", key, f"corrupt snapshot payload: {exc}")
             self.misses += 1
             return None
-        if state.get("version") != CKPT_SCHEMA_VERSION:
-            warnings.warn(
-                f"checkpoint {path.name} has schema "
-                f"{state.get('version')} (want {CKPT_SCHEMA_VERSION}); "
-                "re-warming from cold", RuntimeWarning, stacklevel=2)
+        # The entry-level schema guards the container; the snapshot
+        # still carries its own version so a payload written by other
+        # tooling (or migrated verbatim from a legacy tree) is vetted
+        # before restore_system would trip over it.
+        if not isinstance(state, dict) or \
+                state.get("version") != CKPT_SCHEMA_VERSION:
+            version = state.get("version") if isinstance(state, dict) \
+                else None
+            warn_fallback("ckpt", key,
+                          f"snapshot schema {version} "
+                          f"(want {CKPT_SCHEMA_VERSION})")
             self.misses += 1
             return None
         self.hits += 1
         return state
 
     def put(self, key: str, state: Dict) -> None:
-        path = self.path_for(key)
-        if path is None:
+        store = self._store()
+        if store is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = gzip.compress(
-            json.dumps(state, sort_keys=True,
-                       separators=(",", ":")).encode("utf-8"),
-            mtime=0)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(payload)
-        tmp.replace(path)
+        store.index("ckpt").put_stream(key, _json_chunks(state))
 
     def clear(self) -> None:
-        directory = self._dir()
-        if directory is None or not directory.exists():
-            return
-        for path in directory.glob("*.json.gz"):
-            path.unlink(missing_ok=True)
+        store = self._store()
+        if store is not None:
+            store.index("ckpt").clear()

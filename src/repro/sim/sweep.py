@@ -23,10 +23,12 @@ A point's key is the SHA-256 of a canonical JSON document containing:
 * :data:`CACHE_SCHEMA_VERSION` — bump it whenever simulator semantics
   change so stale results can never be replayed.
 
-Results round-trip through :meth:`SimResult.to_dict` /
-``from_dict`` as JSON files under ``.repro_cache/`` (override with the
-``REPRO_CACHE_DIR`` environment variable).  Corrupt or unreadable
-entries are treated as misses.
+Results round-trip through :meth:`SimResult.to_dict` / ``from_dict``
+as JSON payloads in the unified content-addressed store
+(:mod:`repro.store`) under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable): the ``results`` index maps
+each point key to an immutable object named by the SHA-256 of its
+bytes.  Corrupt or unreadable entries are treated as misses.
 
 Determinism
 -----------
@@ -43,31 +45,18 @@ import gc
 import hashlib
 import json
 import os
-import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.results import SimResult
+from repro.store import DEFAULT_CACHE_DIR, RESULT_SCHEMA_VERSION, Store
 
-#: Bump when simulator behavior changes in any result-visible way; every
-#: previously cached entry becomes unreachable (a miss) under the new
-#: version.  2: pluggable topologies (params gained topology fields and
-#: results may carry a topology tag).  3: precompiled trace buffers
-#: drive the cores and the coherence layer pools messages/MSHRs — the
-#: results are bit-identical by construction, but the trace compiler is
-#: now part of the contract the cache key must cover.  4: the key now
-#: covers the measurement window (``warmup_barriers``/``warmup_mode``),
-#: fixing a latent aliasing bug where a windowed (measured-region) run
-#: could replay a cached full-run record or vice versa.  5: params
-#: gained the NoC ``engine`` selector (event vs array backend) — the
-#: backends are statistically, not bit-, equivalent, so records from
-#: before the field existed must not alias either engine's results.
-CACHE_SCHEMA_VERSION = 5
-
-#: Default on-disk cache location, relative to the working directory.
-DEFAULT_CACHE_DIR = ".repro_cache"
+#: The result-record schema version (see :mod:`repro.store.index`,
+#: which owns every namespace's version and the bump history);
+#: re-exported under the name this module always used.
+CACHE_SCHEMA_VERSION = RESULT_SCHEMA_VERSION
 
 
 @dataclass(frozen=True)
@@ -162,52 +151,54 @@ def point_key(point: SweepPoint) -> str:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of :class:`SimResult` records."""
+    """:class:`SimResult` records as a typed view over the unified store.
+
+    A thin wrapper around the store's ``results`` index: keys map to
+    content-addressed objects holding the sorted-JSON record, writes
+    are atomic, and pre-unification root-level ``<key>.json`` files
+    are migrated in place on first lookup.
+    """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
-        if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-        self.root = Path(root)
+        self.store = Store(root)
         self.hits = 0
         self.misses = 0
 
+    @property
+    def root(self) -> Path:
+        return self.store.root
+
+    @property
+    def _index(self):
+        return self.store.index("results")
+
     def path_for(self, key: str) -> Path:
-        return self.root / f"{key}.json"
+        """The index entry file for ``key`` (its existence == cached)."""
+        return self._index.entry_path(key)
 
     def get(self, key: str) -> Optional[SimResult]:
-        """The cached result for a key, or None (corrupt files miss)."""
-        path = self.path_for(key)
-        try:
-            result = SimResult.load_json(path)
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
+        """The cached result for a key, or None (corrupt entries miss)."""
+        data = self._index.get_bytes(key)
+        if data is not None:
+            try:
+                result = SimResult.from_dict(json.loads(data))
+            except (ValueError, KeyError, TypeError):
+                result = None
+            if result is not None:
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
 
     def put(self, key: str, result: SimResult) -> None:
-        """Persist a result atomically (write-to-temp then rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_dict(), handle, sort_keys=True)
-            os.replace(tmp, self.path_for(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        """Persist a result (atomic object + index-entry writes)."""
+        payload = json.dumps(result.to_dict(),
+                             sort_keys=True).encode("utf-8")
+        self._index.put_bytes(key, payload)
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        return self._index.clear()
 
 
 def _resolve_cache(cache) -> Optional[ResultCache]:

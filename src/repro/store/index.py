@@ -1,0 +1,308 @@
+"""Typed index namespaces: structured keys -> object digests.
+
+The object layer stores anonymous blobs; an :class:`Index` gives them
+meaning.  Each namespace — ``results`` (sweep result records),
+``traces`` (compiled trace buffers), ``ckpt`` (warm-state snapshots) —
+maps content keys to small JSON entry files under
+``index/<namespace>/<key>.json``::
+
+    {"schema": 5, "digest": "<sha256 of the stored object>",
+     "size": 1234, "codec": "raw"}
+
+This is the one place that owns per-namespace **schema versions** and
+the **fallback policy** for entries that cannot be trusted: a corrupt
+entry, a version-mismatched entry, or an object that fails digest
+verification all funnel through a single :func:`warn_fallback` path
+and read as a cache miss — at worst a cold rebuild, never a crash and
+never stale data replayed under new semantics.  (The three stores each
+used to carry their own copy of this logic; the per-store constants
+below are the authoritative ones now, re-exported by the old modules.)
+
+Namespaces also know their **legacy layout** — the pre-unification
+``.repro_cache/`` tree (root-level ``<key>.json`` results,
+``traces/<key>.bin`` buffers, ``ckpt/<key>.json.gz`` snapshots).  A
+lookup that misses the index checks the legacy location and migrates
+the file into the object tree in place (bytes and timestamps
+preserved), so an existing warm cache keeps hitting across the layout
+change with no silent cold start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.store.backend import Backend
+from repro.store.objects import ObjectStore, decode
+
+#: Result-record schema.  Bump when simulator behavior changes in any
+#: result-visible way; every previously cached entry becomes
+#: unreachable (a miss) under the new version.  2: pluggable
+#: topologies.  3: precompiled trace buffers + pooled coherence
+#: messages.  4: the measurement window (``warmup_barriers`` /
+#: ``warmup_mode``) joined the key, fixing measured-region aliasing.
+#: 5: the NoC ``engine`` selector joined the params — the backends are
+#: statistically, not bit-, equivalent.
+RESULT_SCHEMA_VERSION = 5
+
+#: Compiled trace-buffer layout version; bump when buffer layout or
+#: compilation semantics change.
+TRACE_SCHEMA_VERSION = 1
+
+#: Warm-state snapshot layout version; mismatched stored checkpoints
+#: are treated as misses (cold rebuild), never as errors.
+CKPT_SCHEMA_VERSION = 1
+
+#: index keys are content hashes or test stand-ins: filesystem-safe,
+#: no separators, bounded length
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def warn_fallback(namespace: str, key: str, reason: str) -> None:
+    """The single untrusted-entry warning path for every namespace."""
+    warnings.warn(
+        f"discarding {namespace} cache entry {key[:16]}: {reason}; "
+        "falling back to a cold rebuild", RuntimeWarning, stacklevel=4)
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """One typed index namespace and its on-disk conventions."""
+
+    name: str
+    #: authoritative schema version stamped into every entry
+    schema: int
+    #: object codec for this namespace's payloads
+    codec: str
+    #: pre-unification location: subdirectory (``""`` = cache root)
+    legacy_subdir: str
+    #: pre-unification filename suffix appended to the key
+    legacy_suffix: str
+    #: emit a RuntimeWarning when an entry is discarded (the
+    #: checkpoint store has always warned; results/traces miss quietly)
+    warn_on_fallback: bool = False
+
+    def legacy_rel(self, key: str) -> str:
+        name = f"{key}{self.legacy_suffix}"
+        return f"{self.legacy_subdir}/{name}" if self.legacy_subdir else name
+
+
+NAMESPACES: Dict[str, Namespace] = {
+    ns.name: ns for ns in (
+        Namespace("results", RESULT_SCHEMA_VERSION, "raw", "", ".json"),
+        Namespace("traces", TRACE_SCHEMA_VERSION, "raw", "traces", ".bin"),
+        Namespace("ckpt", CKPT_SCHEMA_VERSION, "gzip", "ckpt", ".json.gz",
+                  warn_on_fallback=True),
+    )
+}
+
+
+def referenced_digests(backend: Backend) -> set:
+    """Digests referenced by any readable index entry, any namespace."""
+    digests = set()
+    for rel in backend.list("index"):
+        data = backend.read_or_none(rel)
+        if data is None:
+            continue
+        try:
+            entry = json.loads(data)
+        except ValueError:
+            continue
+        digest = entry.get("digest") if isinstance(entry, dict) else None
+        if digest:
+            digests.add(digest)
+    return digests
+
+
+class Index:
+    """One namespace's key -> entry -> object mapping."""
+
+    PREFIX = "index"
+
+    def __init__(self, namespace: Union[Namespace, str], backend: Backend,
+                 objects: Optional[ObjectStore] = None) -> None:
+        if isinstance(namespace, str):
+            namespace = NAMESPACES[namespace]
+        self.namespace = namespace
+        self.backend = backend
+        self.objects = objects if objects is not None else ObjectStore(backend)
+
+    def __repr__(self) -> str:
+        return f"Index({self.namespace.name!r}, {self.backend!r})"
+
+    # -- paths ------------------------------------------------------------
+
+    @staticmethod
+    def check_key(key: str) -> str:
+        if not isinstance(key, str) or not _KEY_RE.match(key):
+            raise ValueError(
+                f"bad index key {key!r}: keys are filesystem-safe "
+                "content-hash strings (1-128 chars of [A-Za-z0-9._-])")
+        return key
+
+    def entry_rel(self, key: str) -> str:
+        return f"{self.PREFIX}/{self.namespace.name}/{self.check_key(key)}.json"
+
+    def entry_path(self, key: str) -> Optional[Path]:
+        """Local path of the entry file (None for true remotes)."""
+        root = self.backend.local_root()
+        return None if root is None else root / self.entry_rel(key)
+
+    def _legacy_path(self, key: str) -> Optional[Path]:
+        root = self.backend.local_root()
+        if root is None:
+            return None
+        return root / self.namespace.legacy_rel(key)
+
+    # -- reads ------------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        prefix = f"{self.PREFIX}/{self.namespace.name}"
+        for rel in self.backend.list(prefix):
+            name = rel.rsplit("/", 1)[-1]
+            if name.endswith(".json"):
+                yield name[:-5]
+
+    def _fallback(self, key: str, reason: str) -> None:
+        if self.namespace.warn_on_fallback:
+            warn_fallback(self.namespace.name, key, reason)
+
+    def read_entry(self, key: str, quiet: bool = False) -> Optional[Dict]:
+        """The parsed entry for ``key`` after schema validation, or
+        None (missing, corrupt, or version-mismatched)."""
+        data = self.backend.read_or_none(self.entry_rel(key))
+        if data is None:
+            return None
+        try:
+            entry = json.loads(data)
+            if not isinstance(entry, dict) or "digest" not in entry:
+                raise ValueError("not an entry record")
+        except ValueError as exc:
+            if not quiet:
+                self._fallback(key, f"corrupt index entry: {exc}")
+            return None
+        if entry.get("schema") != self.namespace.schema:
+            if not quiet:
+                self._fallback(
+                    key, f"entry schema {entry.get('schema')} "
+                    f"(want {self.namespace.schema})")
+            return None
+        return entry
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The payload for ``key``, or None on any miss.
+
+        Misses are silent when nothing was there; anything present but
+        untrusted goes through the namespace's fallback policy.
+        """
+        self.check_key(key)
+        if not self.backend.exists(self.entry_rel(key)):
+            return self._migrate_legacy(key)
+        entry = self.read_entry(key)
+        if entry is None:
+            return None
+        try:
+            return self.objects.get_bytes(
+                entry["digest"], entry.get("codec", self.namespace.codec))
+        except (OSError, ValueError) as exc:
+            self._fallback(key, f"corrupt or missing object: {exc}")
+            return None
+
+    # -- writes -----------------------------------------------------------
+
+    def _write_entry(self, key: str, digest: str, size: int) -> Dict:
+        entry = {
+            "schema": self.namespace.schema,
+            "digest": digest,
+            "size": size,
+            "codec": self.namespace.codec,
+        }
+        self.backend.write(
+            self.entry_rel(key),
+            json.dumps(entry, sort_keys=True).encode("utf-8"))
+        legacy = self._legacy_path(key)
+        if legacy is not None:
+            # A key never lives in both layouts: a stale legacy twin
+            # would double-count in stats and shadow nothing.
+            legacy.unlink(missing_ok=True)
+        return entry
+
+    def put_bytes(self, key: str, payload: bytes) -> Dict:
+        """Store a payload under ``key``; returns the written entry."""
+        self.check_key(key)
+        digest, size = self.objects.put_bytes(payload, self.namespace.codec)
+        return self._write_entry(key, digest, size)
+
+    def put_stream(self, key: str, chunks: Iterable) -> Dict:
+        """Store a chunked payload (streaming gzip for ``gzip`` codecs)."""
+        self.check_key(key)
+        digest, size = self.objects.put_stream(chunks, self.namespace.codec)
+        return self._write_entry(key, digest, size)
+
+    def delete(self, key: str) -> None:
+        """Drop the entry (the object is reclaimed by GC, which knows
+        about cross-key dedup)."""
+        self.backend.delete(self.entry_rel(key))
+
+    def clear(self) -> int:
+        """Remove every entry (and legacy twin) in this namespace plus
+        the objects nothing else references; returns entries removed."""
+        removed = 0
+        mine = set()
+        for key in list(self.keys()):
+            entry = self.read_entry(key, quiet=True)
+            if entry is not None:
+                mine.add(entry["digest"])
+            self.backend.delete(self.entry_rel(key))
+            removed += 1
+        root = self.backend.local_root()
+        if root is not None:
+            directory = (root / self.namespace.legacy_subdir
+                         if self.namespace.legacy_subdir else root)
+            if directory.is_dir():
+                for path in directory.glob(f"*{self.namespace.legacy_suffix}"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        for digest in mine - referenced_digests(self.backend):
+            self.objects.delete(digest)
+        return removed
+
+    # -- legacy migration --------------------------------------------------
+
+    def _migrate_legacy(self, key: str) -> Optional[bytes]:
+        """Adopt a pre-unification cache file for ``key``, if present.
+
+        The file's bytes become the stored object verbatim (legacy
+        checkpoints are already the gzip stream this namespace's codec
+        describes), its mtime carries over so LRU eviction keeps the
+        true age, and the legacy file is removed once the entry lands.
+        Returns the decoded payload, or None when there is nothing (or
+        nothing trustworthy) to adopt.
+        """
+        path = self._legacy_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            stored = path.read_bytes()
+            stat = path.stat()
+        except OSError:
+            return None
+        try:
+            payload = decode(stored, self.namespace.codec)
+        except ValueError as exc:
+            # Corrupt legacy files stay put (exactly as unreadable
+            # entries always have) and read as misses.
+            self._fallback(key, f"corrupt legacy entry: {exc}")
+            return None
+        existed = self.objects.has(hashlib.sha256(stored).hexdigest())
+        digest, size = self.objects.put_stored(stored)
+        if not existed:
+            self.objects.backend.utime(ObjectStore.rel_for(digest),
+                                       (stat.st_atime, stat.st_mtime))
+        self._write_entry(key, digest, size)
+        return payload

@@ -10,11 +10,11 @@ phase and fork every config's measured region from it.
 
 from __future__ import annotations
 
-import gzip
 import json
 
 import pytest
 
+from repro.store import Store
 from repro.sim.checkpoint import (
     CKPT_SCHEMA_VERSION,
     CheckpointStore,
@@ -184,21 +184,45 @@ class TestStoreRobustness:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         store = CheckpointStore()
         clean = run_workload(**self._warm_kwargs(store))
-        (entry,) = (tmp_path / "ckpt").glob("*.json.gz")
-        entry.write_bytes(b"not gzip at all")
+        unified = Store(tmp_path)
+        (key,) = unified.index("ckpt").keys()
+        entry = unified.index("ckpt").read_entry(key)
+        # Flip bits in the stored object: digest verification must
+        # reject it and the warm phase must rebuild from cold.
+        unified.object_path(entry["digest"]).write_bytes(
+            b"not gzip at all")
         with pytest.warns(RuntimeWarning, match="corrupt"):
+            rebuilt = run_workload(**self._warm_kwargs(store))
+        assert rebuilt.to_dict() == clean.to_dict()
+
+    def test_entry_schema_mismatch_falls_back_to_cold(
+            self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = CheckpointStore()
+        clean = run_workload(**self._warm_kwargs(store))
+        unified = Store(tmp_path)
+        (key,) = unified.index("ckpt").keys()
+        path = unified.index("ckpt").entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["schema"] += 1
+        path.write_text(json.dumps(entry))
+        with pytest.warns(RuntimeWarning, match="schema"):
             rebuilt = run_workload(**self._warm_kwargs(store))
         assert rebuilt.to_dict() == clean.to_dict()
 
     def test_version_mismatch_falls_back_to_cold(
             self, tmp_path, monkeypatch) -> None:
+        """A snapshot payload from a different layout generation (e.g.
+        migrated verbatim from an old tree) warns and rebuilds cold."""
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         store = CheckpointStore()
         clean = run_workload(**self._warm_kwargs(store))
-        (entry,) = (tmp_path / "ckpt").glob("*.json.gz")
-        state = json.loads(gzip.decompress(entry.read_bytes()))
+        unified = Store(tmp_path)
+        (key,) = unified.index("ckpt").keys()
+        state = json.loads(unified.index("ckpt").get_bytes(key))
         state["version"] = CKPT_SCHEMA_VERSION + 1
-        entry.write_bytes(gzip.compress(json.dumps(state).encode()))
+        unified.index("ckpt").put_bytes(
+            key, json.dumps(state).encode("utf-8"))
         with pytest.warns(RuntimeWarning, match="schema"):
             rebuilt = run_workload(**self._warm_kwargs(store))
         assert rebuilt.to_dict() == clean.to_dict()

@@ -105,7 +105,8 @@ class TestWarmupFlags:
                      "functional"])
         assert code == 0
         assert "cycles" in capsys.readouterr().out
-        assert (tmp_path / "cache" / "ckpt").is_dir()
+        from repro.store import Store
+        assert list(Store(tmp_path / "cache").index("ckpt").keys())
 
 
 class TestCacheCommand:
@@ -132,6 +133,40 @@ class TestCacheCommand:
         assert "removed" in capsys.readouterr().out
         from repro.sim.cachemgmt import cache_stats
         assert cache_stats()["total"]["bytes"] == 0
+
+    def test_push_pull_round_trip(self, capsys, tmp_path,
+                                  monkeypatch) -> None:
+        from repro.store import Store
+        self._populate(tmp_path, monkeypatch)
+        capsys.readouterr()
+        remote = tmp_path / "remote"
+        assert main(["cache", "push", "--remote", str(remote)]) == 0
+        out = capsys.readouterr().out
+        assert "objects" in out and str(remote) in out
+        local = Store(tmp_path / "cache")
+        assert set(Store(remote).index("results").keys()) == \
+            set(local.index("results").keys())
+        # a second push finds nothing missing
+        assert main(["cache", "push", "--remote", str(remote)]) == 0
+        total = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("total")][0]
+        assert total.split() == ["total", "0", "0", "0", "B"]
+        # a fresh root pulls the full tree back
+        other = tmp_path / "other"
+        assert main(["cache", "pull", "--remote", str(remote),
+                     "--dir", str(other)]) == 0
+        assert set(Store(other).index("ckpt").keys()) == \
+            set(local.index("ckpt").keys())
+
+    def test_migrate_adopts_legacy_tree(self, capsys, tmp_path) -> None:
+        import json as jsonmod
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        (legacy / ("a" * 64 + ".json")).write_text(
+            jsonmod.dumps({"cycles": 1}))
+        assert main(["cache", "migrate", "--dir", str(legacy)]) == 0
+        assert "adopted 1 legacy entries" in capsys.readouterr().out
+        assert not list(legacy.glob("*.json"))
 
     def test_gc_keeps_newest_entries(self, tmp_path) -> None:
         import os

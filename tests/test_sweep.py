@@ -85,7 +85,7 @@ class TestRunSweep:
         results = run_sweep([point, point, point], cache=cache)
         assert len(results) == 3
         assert cache.misses >= 1
-        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert len(list(tmp_path.glob("index/results/*.json"))) == 1
         assert results[0].to_dict() == results[2].to_dict()
 
     def test_accepts_dict_points(self) -> None:
@@ -140,7 +140,7 @@ class TestResultCache:
         run_point(SweepPoint.make("pathfinder", "noprefetch", **FAST),
                   cache=cache)
         assert cache.clear() == 1
-        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("index/results/*.json"))
 
     def test_put_round_trips_simresult(self, tmp_path) -> None:
         cache = ResultCache(tmp_path)
@@ -177,7 +177,7 @@ class TestTraceSharing:
         points = [SweepPoint.make("pathfinder", config, seed=778, **FAST)
                   for config in ("noprefetch", "ordpush")]
         serial = run_sweep(points, jobs=1)
-        assert list(tmp_path.glob("traces/*.bin"))
+        assert list(tmp_path.glob("index/traces/*.json"))
         parallel = run_sweep(points, jobs=2)
         assert [r.to_dict() for r in parallel] == [
             r.to_dict() for r in serial]

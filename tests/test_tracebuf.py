@@ -115,7 +115,7 @@ class TestTraceCache:
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         cache = TraceCache(tmp_path)
         build_trace_buffers("mv", 4, seed=2, cache=cache, rows_per_core=4)
-        assert not list(tmp_path.glob("**/*.bin"))
+        assert not list(tmp_path.glob("**/*"))  # nothing touched disk
 
     def test_corrupt_file_rebuilds(self, tmp_path) -> None:
         cache = TraceCache(tmp_path)
