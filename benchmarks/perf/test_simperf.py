@@ -59,7 +59,8 @@ SWEEP_WORKLOADS = (
     ("bfs", dict(visits_per_core=300)),
 )
 SWEEP_CONFIGS = ("baseline", "ordpush")
-SWEEP_PASSES = 2  # figures re-read shared cells; model two passes
+#: each pass models one figure script re-running the analysis
+SWEEP_PASSES = 3
 SWEEP_JOBS = 4
 
 
@@ -68,6 +69,17 @@ def _sweep_points():
                             **bench_kwargs(), **sizes)
             for config in SWEEP_CONFIGS
             for workload, sizes in SWEEP_WORKLOADS]
+
+
+def _figure_pass_points():
+    """One figure script's submission list: the full grid plus a
+    re-read of the baseline column (every figure normalizes its scheme
+    against the same baseline runs, so those cells are submitted again
+    within the pass — the executor dedups them, the serial path pays
+    for them)."""
+    points = _sweep_points()
+    baseline = [p for p in points if p.config == "baseline"]
+    return points + baseline
 
 
 def _write_record(record: dict) -> None:
@@ -192,10 +204,13 @@ def test_warm_sweep_amortizes_warmup() -> None:
 
     The cold leg runs each of the six points end to end.  The warm leg
     builds one functional warm image per scheme (topology knobs are not
-    part of a functional image's identity), restores it per point, and
-    simulates only the post-checkpoint measured region in detail.
+    part of a functional image's identity), restores it per point —
+    the repeat restores served from the executor's in-process snapshot
+    memo, not re-parsed from disk — and simulates only the
+    post-checkpoint measured region in detail.
     """
-    from repro.sim.sweep import run_sweep as sweep
+    from repro.sim.sweep import (last_sweep_stats, reset_worker_memo,
+                                 run_sweep as sweep)
 
     kw = dict(bench_kwargs(), **WARM_SIZES)
     warm_points = [SweepPoint.make("cachebw", scheme, num_cores=16, seed=1,
@@ -213,12 +228,14 @@ def test_warm_sweep_amortizes_warmup() -> None:
 
     with tempfile.TemporaryDirectory(prefix="repro-warm-") as tmp:
         os.environ["REPRO_CACHE_DIR"] = tmp
+        reset_worker_memo()
         try:
             start = time.perf_counter()
             warm = sweep(warm_points, jobs=1, cache=False)
             warm_s = time.perf_counter() - start
         finally:
             os.environ.pop("REPRO_CACHE_DIR", None)
+    memo_hits = last_sweep_stats()["ckpt_memo_hits"]
 
     improvement = cold_s / warm_s
     _write_record({"warm_sweep": {
@@ -228,6 +245,7 @@ def test_warm_sweep_amortizes_warmup() -> None:
         "cold_seconds": round(cold_s, 3),
         "warm_seconds": round(warm_s, 3),
         "improvement": round(improvement, 2),
+        "ckpt_memo_hits": memo_hits,
     }})
     print(f"\nwarm sweep: cold {cold_s:.2f}s vs checkpointed "
           f"{warm_s:.2f}s -> {improvement:.2f}x")
@@ -240,24 +258,37 @@ def test_warm_sweep_amortizes_warmup() -> None:
     warm_pushes = {r.config: r.pushes_triggered for r in warm}
     assert (warm_pushes["ordpush"] > 0) == (cold_pushes["ordpush"] > 0)
     assert warm_pushes["baseline"] == 0
+    # 6 points over 2 images: 4 restores must come from the memo.
+    assert memo_hits == 4
     assert improvement >= 2.0
 
 
 def test_sweep_speedup_over_serial() -> None:
-    """Parallel + cached sweep vs the serial seed path (>= 1.5x).
+    """The sweep executor vs the naive serial path (>= 2.8x).
 
-    Runs with ``REPRO_ASSERT_GC_PARKED`` set, so every sweep worker
-    asserts the pool initializer actually disabled its cyclic GC — a
+    Both legs run the figure-suite access pattern: three passes
+    (figure scripts), each submitting the full grid plus a re-read of
+    the baseline normalization column.  The serial leg simulates every
+    submission; the executor dedups within a pass, streams commits to
+    the result cache so later passes are pure hits, and schedules the
+    one uncached pass longest-expected-first over the worker budget
+    (capped at the machine's cores — oversubscription is counted
+    against it, not excused).
+
+    Runs with ``REPRO_ASSERT_GC_PARKED`` set, so every pooled sweep
+    worker asserts the initializer actually disabled its cyclic GC — a
     regression there fails this benchmark, not just the unit test.
     """
-    points = _sweep_points()
+    from repro.sim.sweep import last_sweep_stats
+
+    pass_points = _figure_pass_points()
 
     start = time.perf_counter()
     serial = []
     for _ in range(SWEEP_PASSES):
         serial = [run_workload(p.workload, p.config, num_cores=p.num_cores,
                                seed=p.seed, **dict(p.kwargs))
-                  for p in points]
+                  for p in pass_points]
     serial_s = time.perf_counter() - start
 
     with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
@@ -265,9 +296,13 @@ def test_sweep_speedup_over_serial() -> None:
         os.environ["REPRO_ASSERT_GC_PARKED"] = "1"
         try:
             start = time.perf_counter()
-            swept = []
-            for _ in range(SWEEP_PASSES):
-                swept = run_sweep(points, jobs=SWEEP_JOBS, cache=cache)
+            swept, workers = [], 0
+            for index in range(SWEEP_PASSES):
+                swept = run_sweep(pass_points, jobs=SWEEP_JOBS,
+                                  cache=cache)
+                if index == 0:
+                    # the only executing pass; later ones are all hits
+                    workers = last_sweep_stats()["workers"]
             sweep_s = time.perf_counter() - start
         finally:
             os.environ.pop("REPRO_ASSERT_GC_PARKED", None)
@@ -275,19 +310,22 @@ def test_sweep_speedup_over_serial() -> None:
 
     improvement = serial_s / sweep_s
     _write_record({"sweep": {
-        "grid": f"{len(SWEEP_WORKLOADS)} points x {len(SWEEP_CONFIGS)} "
-                f"configs x {SWEEP_PASSES} passes",
+        "grid": f"({len(SWEEP_WORKLOADS)} workloads x "
+                f"{len(SWEEP_CONFIGS)} configs + "
+                f"{len(SWEEP_WORKLOADS)} baseline re-reads) x "
+                f"{SWEEP_PASSES} passes",
         "jobs": SWEEP_JOBS,
+        "effective_workers": workers,
         "serial_seconds": round(serial_s, 3),
         "sweep_seconds": round(sweep_s, 3),
         "improvement": round(improvement, 2),
         "cache_hits": hits,
         "cache_misses": misses,
     }})
-    print(f"\nsweep: serial {serial_s:.2f}s vs parallel+cache "
+    print(f"\nsweep: serial {serial_s:.2f}s vs executor "
           f"{sweep_s:.2f}s -> {improvement:.2f}x "
           f"({hits} hits / {misses} misses)")
 
     # Results must be bit-identical to the serial path.
     assert [r.to_dict() for r in swept] == [r.to_dict() for r in serial]
-    assert improvement >= 1.5
+    assert improvement >= 2.8

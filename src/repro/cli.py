@@ -151,6 +151,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` parser: a worker count, or ``auto`` (= 0) for one
+    worker per CPU core."""
+    if value.strip().lower() == "auto":
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}")
+
+
+def _progress_printer():
+    """One line per completed point for ``sweep --progress``."""
+    def emit(event: dict) -> None:
+        wall = "      hit" if event["wall"] is None \
+            else f"{event['wall']:8.2f}s"
+        eta = "" if event["eta"] is None \
+            else f"  eta {event['eta']:6.1f}s"
+        print(f"[{event['done']:3d}/{event['total']:3d}] "
+              f"{event['label']:<34s} {wall}{eta}", flush=True)
+    return emit
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     return _with_profile(args, lambda: _run_sweep_cmd(args))
 
@@ -166,10 +190,12 @@ def _run_sweep_cmd(args: argparse.Namespace) -> int:
                               **_warmup_kwargs(args), **kwargs)
               for topology in topologies
               for config in args.configs for seed in seeds]
+    progress = _progress_printer() if args.progress else None
     results = run_sweep(points, jobs=args.jobs,
-                        cache=not args.no_cache)
+                        cache=not args.no_cache, progress=progress)
+    jobs_label = "auto" if args.jobs == 0 else args.jobs
     print(f"{args.workload} on {args.cores} cores: "
-          f"{len(points)} points, jobs={args.jobs}, "
+          f"{len(points)} points, jobs={jobs_label}, "
           f"cache={'off' if args.no_cache else 'on'}")
     print(f"{'topology':9s}{'config':18s}{'seed':>12s}{'cycles':>10s}"
           f"{'mpki':>8s}{'flits':>10s}{'push acc':>10s}")
@@ -363,10 +389,19 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list(CONFIG_NAMES))
     sweep_p.add_argument("--seeds", type=int, default=1,
                          help="number of derived seeds per config")
-    sweep_p.add_argument("--jobs", type=int, default=1,
-                         help="worker processes (1 = run in-process)")
+    sweep_p.add_argument("--jobs", type=_jobs_arg, default=1,
+                         metavar="N|auto",
+                         help="worker processes: a count, or 'auto' "
+                              "(same as 0) for one per CPU core; the "
+                              "executor never runs more workers than "
+                              "cores or pending points, and a single "
+                              "effective worker runs in-process")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="bypass the on-disk result cache")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="print one line per completed point: "
+                              "cache hit or wall seconds, plus the "
+                              "cost model's remaining-work ETA")
     sweep_p.add_argument("--out", default=None,
                          help="write result records to this JSON file")
     sweep_p.add_argument("--topologies", nargs="+", default=None,

@@ -29,14 +29,14 @@ from __future__ import annotations
 import array
 import hashlib
 import json
-import os
 import struct
 import sys
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.cpu.traces import BARRIER, MemAccess, TraceRecord
-from repro.store import TRACE_SCHEMA_VERSION, Store
+from repro.store import TRACE_SCHEMA_VERSION, Store, cache_disabled
 
 __all__ = ["TRACE_SCHEMA_VERSION", "TraceBuffer", "TraceCache",
            "dump_buffers", "load_buffers", "trace_key", "concat_columns"]
@@ -180,11 +180,17 @@ class TraceCache:
     ``builds`` counts actual generator materializations;
     ``memo_hits`` / ``disk_hits`` count reuse, which is how the sweep
     tests prove each point's trace is compiled exactly once.
+
+    ``memo_limit`` bounds the in-process memo (LRU over buffer sets;
+    None = unbounded).  Long-lived sweep workers set a small limit so
+    touring a huge grid never accumulates every trace it ever compiled.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(self, root: Union[str, Path, None] = None,
+                 memo_limit: Optional[int] = None) -> None:
         self._root = root
-        self.memo: Dict[str, List[TraceBuffer]] = {}
+        self.memo: "OrderedDict[str, List[TraceBuffer]]" = OrderedDict()
+        self.memo_limit = memo_limit
         self.builds = 0
         self.memo_hits = 0
         self.disk_hits = 0
@@ -195,9 +201,14 @@ class TraceCache:
         Resolved per call so tests can repoint ``REPRO_CACHE_DIR`` or
         flip ``REPRO_NO_CACHE`` after the cache object exists.
         """
-        if os.environ.get("REPRO_NO_CACHE"):
+        if cache_disabled():
             return None
         return Store(self._root)
+
+    def _trim(self) -> None:
+        if self.memo_limit is not None:
+            while len(self.memo) > self.memo_limit:
+                self.memo.popitem(last=False)
 
     def path_for(self, key: str) -> Optional[Path]:
         """The index entry file for ``key`` (None when disk is off)."""
@@ -210,6 +221,7 @@ class TraceCache:
         """The cached buffers for ``key``, compiling on first use."""
         buffers = self.memo.get(key)
         if buffers is not None:
+            self.memo.move_to_end(key)
             self.memo_hits += 1
             return buffers
         store = self._store()
@@ -223,10 +235,12 @@ class TraceCache:
             if buffers is not None:
                 self.disk_hits += 1
                 self.memo[key] = buffers
+                self._trim()
                 return buffers
         buffers = build()
         self.builds += 1
         self.memo[key] = buffers
+        self._trim()
         if store is not None:
             store.index("traces").put_bytes(key, dump_buffers(buffers))
         return buffers

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
@@ -46,7 +46,8 @@ from repro.common.errors import SimulationError
 from repro.cpu.tracebuf import trace_key
 from repro.noc.functional import FunctionalNetwork
 from repro.sim.results import SimResult, collect_result
-from repro.store import CKPT_SCHEMA_VERSION, Store, warn_fallback
+from repro.store import (CKPT_SCHEMA_VERSION, Store, cache_disabled,
+                         warn_fallback)
 
 
 # ---------------------------------------------------------------------------
@@ -494,7 +495,7 @@ class CheckpointStore:
         self.misses = 0
 
     def _store(self) -> Optional[Store]:
-        if os.environ.get("REPRO_NO_CACHE"):
+        if cache_disabled():
             return None
         return Store(self._root)
 
@@ -502,6 +503,15 @@ class CheckpointStore:
         """The index entry file for ``key`` (None when disabled)."""
         store = self._store()
         return None if store is None else store.index("ckpt").entry_path(key)
+
+    def has(self, key: str) -> bool:
+        """Whether a trusted snapshot exists for ``key``.
+
+        Entry-level only — no multi-megabyte payload read — so sweep
+        planning can cheaply decide whether a warm build is needed.
+        """
+        store = self._store()
+        return store is not None and store.index("ckpt").has(key)
 
     def get(self, key: str) -> Optional[Dict]:
         store = self._store()
@@ -544,3 +554,53 @@ class CheckpointStore:
         store = self._store()
         if store is not None:
             store.index("ckpt").clear()
+
+
+class MemoCheckpointStore(CheckpointStore):
+    """A :class:`CheckpointStore` with a bounded memo of parsed states.
+
+    Restoring N sweep points from one warm image re-reads and
+    re-gunzips the same multi-megabyte snapshot N times.  This subclass
+    keeps the last few **parsed** states in process memory (LRU over
+    ``memo_limit`` images), so a worker serving a warm-affinity batch
+    pays the disk-and-parse cost once per image instead of once per
+    point.  Snapshots are immutable by contract —
+    :func:`restore_system` only reads them — which is what makes
+    handing the same dict to every restore safe.
+
+    ``put`` memoizes too: the worker that builds a warm image serves
+    its own batch without ever re-reading what it just wrote.  The
+    sweep executor skips this class entirely under
+    ``REPRO_NO_WORKER_MEMO``.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 memo_limit: int = 4) -> None:
+        super().__init__(root)
+        self.memo: "OrderedDict[str, Dict]" = OrderedDict()
+        self.memo_limit = memo_limit
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def _remember(self, key: str, state: Dict) -> None:
+        self.memo[key] = state
+        self.memo.move_to_end(key)
+        while len(self.memo) > self.memo_limit:
+            self.memo.popitem(last=False)
+
+    def get(self, key: str) -> Optional[Dict]:
+        state = self.memo.get(key)
+        if state is not None:
+            self.memo.move_to_end(key)
+            self.memo_hits += 1
+            self.hits += 1
+            return state
+        self.memo_misses += 1
+        state = super().get(key)
+        if state is not None:
+            self._remember(key, state)
+        return state
+
+    def put(self, key: str, state: Dict) -> None:
+        super().put(key, state)
+        self._remember(key, state)

@@ -170,16 +170,19 @@ def run_comparison(workload: str, configs: List[str],
                    max_cycles: int = 100_000_000,
                    warmup_barriers: int = 0,
                    warmup_mode: str = "detailed",
+                   progress=None,
                    **kwargs) -> Dict[str, SimResult]:
     """Run one workload under several configurations.
 
-    ``jobs`` > 1 fans the configurations out over worker processes;
-    ``cache`` enables the on-disk result cache (pass ``True`` for the
-    default location, or a :class:`~repro.sim.sweep.ResultCache`).
-    Results are identical to serial execution for the same seed.
+    ``jobs`` > 1 fans the configurations out over worker processes
+    (``0`` = one per CPU); ``cache`` enables the on-disk result cache
+    (pass ``True`` for the default location, or a
+    :class:`~repro.sim.sweep.ResultCache`).  Results are identical to
+    serial execution for the same seed.
     ``warmup_barriers``/``warmup_mode`` enable checkpointed warmup:
     each config's warm state is built once and the measured regions
-    fork from it (see :func:`run_workload`).
+    fork from it (see :func:`run_workload`).  ``progress`` is the
+    per-point callback :func:`~repro.sim.sweep.run_sweep` documents.
     """
     from repro.sim.sweep import SweepPoint, run_sweep
 
@@ -188,5 +191,5 @@ def run_comparison(workload: str, configs: List[str],
                               warmup_barriers=warmup_barriers,
                               warmup_mode=warmup_mode, **kwargs)
               for config in configs]
-    results = run_sweep(points, jobs=jobs, cache=cache)
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
     return dict(zip(configs, results))

@@ -20,7 +20,8 @@ workflows.
 """
 
 from repro.store.backend import (DEFAULT_CACHE_DIR, Backend, LocalBackend,
-                                 RemoteBackend, cache_root, open_backend)
+                                 RemoteBackend, cache_disabled, cache_root,
+                                 open_backend)
 from repro.store.index import (CKPT_SCHEMA_VERSION, NAMESPACES,
                                RESULT_SCHEMA_VERSION, TRACE_SCHEMA_VERSION,
                                Index, Namespace, warn_fallback)
@@ -33,6 +34,7 @@ __all__ = [
     "Backend",
     "LocalBackend",
     "RemoteBackend",
+    "cache_disabled",
     "cache_root",
     "open_backend",
     "CODECS",

@@ -50,6 +50,19 @@ def cache_root(root: Union[str, Path, None] = None) -> Path:
     return Path(root)
 
 
+def cache_disabled() -> bool:
+    """Whether ``REPRO_NO_CACHE`` turns off every on-disk cache layer.
+
+    Resolved per call, never at construction, so flipping the variable
+    mid-process takes effect immediately.  This is the one place the
+    variable is interpreted: the result cache, trace cache, checkpoint
+    store, and the sweep executor's warm-build planning all consult it,
+    so ``cache=True`` under ``REPRO_NO_CACHE`` degrades consistently to
+    a no-op across all three namespaces.
+    """
+    return bool(os.environ.get("REPRO_NO_CACHE"))
+
+
 class Backend(ABC):
     """Keyed blob storage addressed by POSIX-style relative paths."""
 

@@ -172,6 +172,26 @@ class Index:
         if self.namespace.warn_on_fallback:
             warn_fallback(self.namespace.name, key, reason)
 
+    def has(self, key: str) -> bool:
+        """Whether ``key`` resolves to a trusted entry (or an adoptable
+        legacy file) without reading the payload."""
+        self.check_key(key)
+        if self.read_entry(key, quiet=True) is not None:
+            return True
+        legacy = self._legacy_path(key)
+        return legacy is not None and legacy.is_file()
+
+    def entries(self) -> Iterator:
+        """``(key, entry)`` for every trusted entry in this namespace.
+
+        Untrusted entries are skipped quietly — this is a scan, not a
+        lookup, so nothing is being replayed from them.
+        """
+        for key in self.keys():
+            entry = self.read_entry(key, quiet=True)
+            if entry is not None:
+                yield key, entry
+
     def read_entry(self, key: str, quiet: bool = False) -> Optional[Dict]:
         """The parsed entry for ``key`` after schema validation, or
         None (missing, corrupt, or version-mismatched)."""
@@ -215,13 +235,22 @@ class Index:
 
     # -- writes -----------------------------------------------------------
 
-    def _write_entry(self, key: str, digest: str, size: int) -> Dict:
-        entry = {
+    #: entry fields owned by the store itself; ``meta`` cannot shadow them
+    RESERVED_FIELDS = frozenset({"schema", "digest", "size", "codec"})
+
+    def _write_entry(self, key: str, digest: str, size: int,
+                     meta: Optional[Dict] = None) -> Dict:
+        entry = dict(meta) if meta else {}
+        shadowed = self.RESERVED_FIELDS & entry.keys()
+        if shadowed:
+            raise ValueError(f"meta fields {sorted(shadowed)} shadow "
+                             "store-owned entry fields")
+        entry.update({
             "schema": self.namespace.schema,
             "digest": digest,
             "size": size,
             "codec": self.namespace.codec,
-        }
+        })
         self.backend.write(
             self.entry_rel(key),
             json.dumps(entry, sort_keys=True).encode("utf-8"))
@@ -232,17 +261,25 @@ class Index:
             legacy.unlink(missing_ok=True)
         return entry
 
-    def put_bytes(self, key: str, payload: bytes) -> Dict:
-        """Store a payload under ``key``; returns the written entry."""
+    def put_bytes(self, key: str, payload: bytes,
+                  meta: Optional[Dict] = None) -> Dict:
+        """Store a payload under ``key``; returns the written entry.
+
+        ``meta`` is a small JSON dict merged into the entry file — side
+        information about the payload (e.g. the wall seconds a result
+        cost to produce) that readers can scan without fetching
+        objects.  Store-owned fields are reserved.
+        """
         self.check_key(key)
         digest, size = self.objects.put_bytes(payload, self.namespace.codec)
-        return self._write_entry(key, digest, size)
+        return self._write_entry(key, digest, size, meta)
 
-    def put_stream(self, key: str, chunks: Iterable) -> Dict:
+    def put_stream(self, key: str, chunks: Iterable,
+                   meta: Optional[Dict] = None) -> Dict:
         """Store a chunked payload (streaming gzip for ``gzip`` codecs)."""
         self.check_key(key)
         digest, size = self.objects.put_stream(chunks, self.namespace.codec)
-        return self._write_entry(key, digest, size)
+        return self._write_entry(key, digest, size, meta)
 
     def delete(self, key: str) -> None:
         """Drop the entry (the object is reclaimed by GC, which knows

@@ -117,6 +117,39 @@ class TestIndexTyping:
         assert entry["codec"] == "raw"
 
 
+class TestEntryMeta:
+    def test_meta_round_trips_through_entry(self, tmp_path) -> None:
+        index = Store(tmp_path).index("results")
+        entry = index.put_bytes("m" * 64, b"{}",
+                                meta={"wall": 1.25, "cost": "c" * 64})
+        assert entry["wall"] == 1.25
+        read = index.read_entry("m" * 64)
+        assert read["wall"] == 1.25 and read["cost"] == "c" * 64
+        # meta never leaks into the payload
+        assert index.get_bytes("m" * 64) == b"{}"
+
+    def test_meta_cannot_shadow_store_fields(self, tmp_path) -> None:
+        index = Store(tmp_path).index("results")
+        with pytest.raises(ValueError, match="shadow"):
+            index.put_bytes("m" * 64, b"{}", meta={"digest": "forged"})
+
+    def test_entries_iterates_trusted_only(self, tmp_path) -> None:
+        index = Store(tmp_path).index("results")
+        index.put_bytes("a" * 64, b"{}", meta={"wall": 2.0})
+        index.put_bytes("b" * 64, b"{}")
+        (tmp_path / "index" / "results" / ("x" * 64 + ".json")
+         ).write_text("{corrupt")
+        entries = dict(index.entries())
+        assert set(entries) == {"a" * 64, "b" * 64}
+        assert entries["a" * 64]["wall"] == 2.0
+
+    def test_has_is_entry_level(self, tmp_path) -> None:
+        index = Store(tmp_path).index("ckpt")
+        assert not index.has("h" * 64)
+        index.put_bytes("h" * 64, b'{"version": 1}')
+        assert index.has("h" * 64)
+
+
 class TestFallbackPolicy:
     def test_corrupt_entry_misses_silently_for_results(self,
                                                        tmp_path) -> None:

@@ -66,8 +66,14 @@ class TestRunSweep:
         assert [(r.workload, r.config) for r in results] == [
             (p.workload, p.config) for p in points]
 
-    def test_parallel_bit_identical_to_serial(self) -> None:
-        """jobs=4 must reproduce serial results exactly (acceptance)."""
+    def test_parallel_bit_identical_to_serial(self, monkeypatch) -> None:
+        """jobs=4 must reproduce serial results exactly (acceptance).
+
+        REPRO_SWEEP_EXACT_JOBS forces a real 4-worker pool even on a
+        single-CPU machine, where the executor would otherwise run
+        in-process.
+        """
+        monkeypatch.setenv("REPRO_SWEEP_EXACT_JOBS", "1")
         points = _points()
         serial = run_sweep(points, jobs=1)
         parallel = run_sweep(points, jobs=4)
@@ -174,6 +180,7 @@ class TestTraceSharing:
         """Worker processes reuse the on-disk buffers where available;
         results stay bit-identical either way."""
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_EXACT_JOBS", "1")
         points = [SweepPoint.make("pathfinder", config, seed=778, **FAST)
                   for config in ("noprefetch", "ordpush")]
         serial = run_sweep(points, jobs=1)
@@ -188,6 +195,7 @@ class TestWorkerGCParking:
         """The pool initializer disables the cyclic GC in every worker;
         the in-worker assert fires (failing the sweep) if it did not."""
         monkeypatch.setenv("REPRO_ASSERT_GC_PARKED", "1")
+        monkeypatch.setenv("REPRO_SWEEP_EXACT_JOBS", "1")
         points = [SweepPoint.make("pathfinder", config, seed=779, **FAST)
                   for config in ("noprefetch", "ordpush")]
         results = run_sweep(points, jobs=2)

@@ -1,0 +1,336 @@
+"""Executor-level sweep tests: scheduling, memos, resume, progress.
+
+The scheduling/affinity machinery must be invisible in the results —
+every test here ultimately checks either bit-identity with the naive
+serial path or a resource-usage claim (what executed, what was read
+from a memo, what survived a crash).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.cli import build_parser
+from repro.sim.config import bench_kwargs
+from repro.sim.sweep import (
+    CostModel,
+    ResultCache,
+    SweepPoint,
+    _effective_workers,
+    _plan,
+    _warm_checkpoint_key,
+    cost_key,
+    last_sweep_stats,
+    point_key,
+    reset_worker_memo,
+    resolve_jobs,
+    run_sweep,
+)
+
+#: one fast simulation point (~tens of milliseconds)
+FAST = dict(num_cores=4, iters=4, **bench_kwargs())
+
+
+def _points(seed0: int = 1):
+    return [SweepPoint.make("pathfinder", config, seed=seed, **FAST)
+            for config in ("noprefetch", "ordpush")
+            for seed in (seed0, seed0 + 1)]
+
+
+def _warm_points(seed: int = 1):
+    """Six checkpointed points sharing two warm images (one per scheme;
+    functional warming drops the NoC knobs from the checkpoint key, so
+    the three topologies of a scheme share one image)."""
+    sizes = dict(array_lines=256, iters=2, **bench_kwargs())
+    return [SweepPoint.make("cachebw", scheme, num_cores=4, seed=seed,
+                            topology=topology, warmup_barriers=1,
+                            warmup_mode="functional", **sizes)
+            for scheme in ("baseline", "ordpush")
+            for topology in ("mesh", "torus", "cmesh")]
+
+
+class TestJobsResolution:
+    def test_zero_and_none_mean_cpu_count(self) -> None:
+        assert resolve_jobs(0) == os.cpu_count()
+        assert resolve_jobs(None) == os.cpu_count()
+        assert resolve_jobs(3) == 3
+
+    def test_workers_capped_by_cpus_and_tasks(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_SWEEP_EXACT_JOBS", raising=False)
+        cpus = os.cpu_count() or 1
+        assert _effective_workers(cpus + 7, tasks=1000) == cpus
+        assert _effective_workers(8, tasks=2) <= 2
+        assert _effective_workers(1, tasks=0) == 1
+
+    def test_exact_jobs_lifts_cpu_cap(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_SWEEP_EXACT_JOBS", "1")
+        assert _effective_workers(4, tasks=8) == 4
+
+    def test_cli_accepts_auto(self) -> None:
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "pathfinder", "--jobs", "auto"])
+        assert args.jobs == 0
+        args = parser.parse_args(["sweep", "pathfinder", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_run_sweep_jobs_auto(self) -> None:
+        results = run_sweep([SweepPoint.make("pathfinder", "noprefetch",
+                                             **FAST)], jobs=0)
+        assert results[0].cycles > 0
+        assert last_sweep_stats()["workers"] >= 1
+
+
+class TestProgress:
+    def test_run_then_hit_event_stream(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path)
+        points = _points(seed0=31)
+        events = []
+        run_sweep(points, cache=cache, progress=events.append)
+        assert [e["status"] for e in events] == ["run"] * len(points)
+        assert [e["done"] for e in events] == [1, 2, 3, 4]
+        assert all(e["total"] == len(points) for e in events)
+        assert all(e["wall"] >= 0 for e in events)
+        assert all(e["eta"] >= 0 for e in events)
+        # ETA is the cost model's remaining-work estimate: it shrinks
+        # monotonically to zero as points drain.
+        etas = [e["eta"] for e in events]
+        assert etas == sorted(etas, reverse=True)
+        assert etas[-1] == 0.0
+
+        events.clear()
+        run_sweep(points, cache=cache, progress=events.append)
+        assert [e["status"] for e in events] == ["hit"] * len(points)
+        assert all(e["wall"] is None for e in events)
+
+    def test_duplicates_reported_once(self, tmp_path) -> None:
+        point = SweepPoint.make("pathfinder", "noprefetch", seed=37, **FAST)
+        events = []
+        run_sweep([point, point, point], cache=ResultCache(tmp_path),
+                  progress=events.append)
+        assert len(events) == 1
+        assert events[0]["total"] == 1
+
+
+class TestDuplicateFanBack:
+    def test_duplicates_under_real_pool(self, tmp_path,
+                                        monkeypatch) -> None:
+        """jobs>1 simulates duplicate submissions once and fans the
+        result back to every slot (acceptance)."""
+        monkeypatch.setenv("REPRO_SWEEP_EXACT_JOBS", "1")
+        point = SweepPoint.make("pathfinder", "noprefetch", seed=41, **FAST)
+        other = SweepPoint.make("pathfinder", "ordpush", seed=41, **FAST)
+        cache = ResultCache(tmp_path)
+        results = run_sweep([point, other, point, point, other],
+                            jobs=2, cache=cache)
+        assert len(results) == 5
+        stats = last_sweep_stats()
+        assert stats["points"] == 5
+        assert stats["unique"] == 2
+        assert stats["executed"] == 2
+        assert stats["workers"] == 2
+        assert len(list(tmp_path.glob("index/results/*.json"))) == 2
+        assert results[0].to_dict() == results[2].to_dict()
+        assert results[0].to_dict() == results[3].to_dict()
+        assert results[1].to_dict() == results[4].to_dict()
+
+
+class TestCrashResume:
+    def test_resume_runs_only_missing_points(self, tmp_path) -> None:
+        """Kill a sweep after two commits; the re-run must hit those
+        two and execute only the remaining points (acceptance)."""
+        script = textwrap.dedent("""
+            import os, signal
+            from repro.sim.config import bench_kwargs
+            from repro.sim.sweep import SweepPoint, run_sweep
+            FAST = dict(num_cores=4, iters=4, **bench_kwargs())
+            points = [SweepPoint.make("pathfinder", config, seed=seed,
+                                      **FAST)
+                      for config in ("noprefetch", "ordpush")
+                      for seed in (51, 52)]
+            def progress(event):
+                if event["done"] == 2:
+                    os.kill(os.getpid(), signal.SIGKILL)
+            run_sweep(points, jobs=1, cache=True, progress=progress)
+            raise SystemExit("sweep survived the kill")
+        """)
+        env = dict(os.environ, REPRO_CACHE_DIR=str(tmp_path))
+        env.pop("REPRO_NO_CACHE", None)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, timeout=120)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        committed = list(tmp_path.glob("index/results/*.json"))
+        assert len(committed) == 2
+        # every committed entry is a complete, parseable record
+        for path in committed:
+            assert json.loads(path.read_text())["digest"]
+
+        points = [SweepPoint.make("pathfinder", config, seed=seed, **FAST)
+                  for config in ("noprefetch", "ordpush")
+                  for seed in (51, 52)]
+        cache = ResultCache(tmp_path)
+        results = run_sweep(points, cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert last_sweep_stats()["executed"] == 2
+        assert all(r.cycles > 0 for r in results)
+        assert len(list(tmp_path.glob("index/results/*.json"))) == 4
+
+
+class TestWarmAffinityMemo:
+    def test_memo_serves_shared_images(self, tmp_path,
+                                       monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_worker_memo()
+        run_sweep(_warm_points(seed=61), jobs=1, cache=False)
+        # 6 points, 2 warm images: each image is parsed once and the
+        # other two restores of its group come from the memo.
+        assert last_sweep_stats()["ckpt_memo_hits"] == 4
+
+    def test_bit_identical_with_memo_off(self, tmp_path,
+                                         monkeypatch) -> None:
+        """The memo only short-circuits reads of immutable snapshots;
+        forcing it off must not change a bit (acceptance)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_worker_memo()
+        points = _warm_points(seed=62)
+        with_memo = run_sweep(points, jobs=1, cache=False)
+        assert last_sweep_stats()["ckpt_memo_hits"] > 0
+        monkeypatch.setenv("REPRO_NO_WORKER_MEMO", "1")
+        without = run_sweep(points, jobs=1, cache=False)
+        assert last_sweep_stats()["ckpt_memo_hits"] == 0
+        assert [r.to_dict() for r in without] == [
+            r.to_dict() for r in with_memo]
+
+
+class TestDependencyPlanning:
+    def _pending(self, points):
+        pending = [(point_key(p), p) for p in points]
+        cost_of = {key: cost_key(p) for key, p in pending}
+        return pending, cost_of
+
+    def test_single_worker_never_splits_or_builds(self, tmp_path,
+                                                  monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        pending, cost_of = self._pending(_warm_points(seed=63))
+        builds, chunks = _plan(pending, cost_of, CostModel(), workers=1)
+        assert builds == {}
+        # one chunk per warm image: the whole group stays on one
+        # worker and is served from its memo
+        assert len(chunks) == 2
+        planned = [item for chunk in chunks for item in chunk.items]
+        assert sorted(key for key, _ in planned) == sorted(
+            key for key, _ in pending)
+
+    def test_split_groups_gate_on_a_build_task(self, tmp_path,
+                                               monkeypatch) -> None:
+        """A missing warm image spread across workers becomes its own
+        task; every chunk of that group depends on it (acceptance:
+        a point never runs before its warm build)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        points = _warm_points(seed=64)
+        pending, cost_of = self._pending(points)
+        builds, chunks = _plan(pending, cost_of, CostModel(), workers=4)
+        warm_keys = {_warm_checkpoint_key(p) for p in points}
+        assert set(builds) == warm_keys
+        assert all(chunk.warm_key in builds for chunk in chunks)
+        assert len(chunks) > len(warm_keys)  # groups actually split
+        planned = [item for chunk in chunks for item in chunk.items]
+        assert len(planned) == len(pending)
+
+    def test_no_build_task_when_image_already_stored(self, tmp_path,
+                                                     monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        points = _warm_points(seed=65)
+        # materialize both warm images first
+        run_sweep(points, jobs=1, cache=False)
+        pending, cost_of = self._pending(points)
+        builds, _ = _plan(pending, cost_of, CostModel(), workers=4)
+        assert builds == {}
+
+    def test_cold_points_are_never_gated(self) -> None:
+        pending, cost_of = self._pending(_points(seed0=66))
+        builds, chunks = _plan(pending, cost_of, CostModel(), workers=4)
+        assert builds == {}
+        assert all(chunk.warm_key is None for chunk in chunks)
+
+    def test_parallel_warm_sweep_bit_identical(self, tmp_path,
+                                               monkeypatch) -> None:
+        """End to end: a 4-worker warm sweep splits both groups across
+        workers, so each image becomes a build task gating its chunks;
+        results equal serial exactly and each image was built once."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_EXACT_JOBS", "1")
+        points = _warm_points(seed=67)
+        parallel = run_sweep(points, jobs=4, cache=False)
+        assert last_sweep_stats()["builds"] == 2
+        assert len(list(tmp_path.glob("index/ckpt/*.json"))) == 2
+        serial = run_sweep(points, jobs=1, cache=False)
+        assert [r.to_dict() for r in parallel] == [
+            r.to_dict() for r in serial]
+
+
+class TestCostModel:
+    def test_estimates_and_fallbacks(self) -> None:
+        model = CostModel()
+        assert model.estimate("a") is None
+        assert model.expected("a") == 1.0
+        model.observe("a", 2.0)
+        model.observe("a", 4.0)
+        model.observe("b", 9.0)
+        assert model.estimate("a") == pytest.approx(3.0)
+        assert model.expected("missing") == pytest.approx(5.0)
+
+    def test_loads_history_from_entry_meta(self, tmp_path) -> None:
+        """Committed sweeps train the scheduler: wall seconds recorded
+        in entry metadata come back through CostModel.load, keyed by
+        the seed-blind cost profile."""
+        cache = ResultCache(tmp_path)
+        point = SweepPoint.make("pathfinder", "noprefetch", seed=71, **FAST)
+        run_sweep([point], cache=cache)
+        replica = SweepPoint.make("pathfinder", "noprefetch", seed=99,
+                                  **FAST)
+        assert cost_key(point) == cost_key(replica)
+        assert point_key(point) != point_key(replica)
+        model = CostModel.load(cache)
+        estimate = model.estimate(cost_key(replica))
+        assert estimate is not None and estimate >= 0
+
+    def test_seed_blind_but_config_sensitive(self) -> None:
+        base = SweepPoint.make("pathfinder", "ordpush", seed=1, **FAST)
+        other_config = SweepPoint.make("pathfinder", "baseline", seed=1,
+                                       **FAST)
+        assert cost_key(base) != cost_key(other_config)
+
+
+class TestNoCacheConsistency:
+    def test_result_cache_honors_repro_no_cache(self, tmp_path,
+                                                monkeypatch) -> None:
+        """cache=<ResultCache> under REPRO_NO_CACHE degrades to a
+        no-op exactly like the trace and checkpoint stores: nothing
+        written, every lookup a miss (satellite acceptance)."""
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path)
+        point = SweepPoint.make("pathfinder", "noprefetch", seed=81, **FAST)
+        first = run_sweep([point], cache=cache)
+        second = run_sweep([point], cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert not list(tmp_path.rglob("*.json"))
+        assert cache.path_for(point_key(point)) is None
+        assert first[0].to_dict() == second[0].to_dict()
+
+    def test_reenabling_restores_the_store(self, tmp_path,
+                                           monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path)
+        point = SweepPoint.make("pathfinder", "noprefetch", seed=82, **FAST)
+        run_sweep([point], cache=cache)
+        assert not list(tmp_path.rglob("*.json"))
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        run_sweep([point], cache=cache)
+        assert len(list(tmp_path.glob("index/results/*.json"))) == 1
